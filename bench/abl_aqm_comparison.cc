@@ -1,0 +1,132 @@
+// Extension study: "is CoDel really achieving what RED cannot?" (the paper's
+// reference [41]) — all five disciplines, measured with the instrumented
+// bottleneck probe (§7 lower-layer tracing), across load levels. Reports the
+// standing queueing delay at the bottleneck, link utilization, and the
+// resulting endhost (sender) delay — showing that whatever the AQM achieves
+// in the network, the endhost component needs ELEMENT.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/ground_truth.h"
+
+#include "bench/harness.h"
+
+using namespace element;
+
+namespace {
+
+struct CellResult {
+  double sojourn_p50_ms;
+  double sojourn_p95_ms;
+  double utilization;
+  double sender_delay_ms;
+  double drop_permille;
+};
+
+CellResult RunCell(uint64_t seed, QdiscType qdisc, int flows) {
+  PathConfig path;
+  path.rate = DataRate::Mbps(20);
+  path.one_way_delay = TimeDelta::FromMillis(25);
+  path.queue_limit_packets = 170;  // ~2x BDP
+  path.qdisc = qdisc;
+  path.instrument_bottleneck = true;
+  Testbed bed(seed, path);
+
+  struct Per {
+    Testbed::Flow flow;
+    std::unique_ptr<GroundTruthTracer> tracer;
+    std::unique_ptr<RawTcpSink> sink;
+    std::unique_ptr<IperfApp> app;
+    std::unique_ptr<SinkApp> reader;
+  };
+  std::vector<Per> per(static_cast<size_t>(flows));
+  for (auto& p : per) {
+    p.flow = bed.CreateFlow(TcpSocket::Config{});
+    GroundTruthTracer::Config tcfg;
+    tcfg.record_from = SimTime::FromNanos(3'000'000'000LL);
+    p.tracer = std::make_unique<GroundTruthTracer>(tcfg);
+    p.flow.sender->set_observer(p.tracer.get());
+    p.flow.receiver->set_observer(p.tracer.get());
+    p.sink = std::make_unique<RawTcpSink>(p.flow.sender);
+    p.app = std::make_unique<IperfApp>(&bed.loop(), p.sink.get());
+    p.reader = std::make_unique<SinkApp>(p.flow.receiver);
+    p.app->Start();
+    p.reader->Start();
+  }
+  const double kDuration = 40.0;
+  bed.loop().RunUntil(SimTime::FromNanos(static_cast<int64_t>(kDuration * 1e9)));
+
+  CellResult r;
+  const InstrumentedQdisc* probe = bed.bottleneck_probe();
+  r.sojourn_p50_ms = probe->sojourn_samples().Quantile(0.5) * 1000;
+  r.sojourn_p95_ms = probe->sojourn_samples().Quantile(0.95) * 1000;
+  uint64_t delivered = 0;
+  double sender_delay = 0;
+  for (auto& p : per) {
+    delivered += p.flow.receiver->app_bytes_read();
+    sender_delay += p.tracer->sender_delay().mean() * 1000 / flows;
+  }
+  r.utilization =
+      RateOver(static_cast<int64_t>(delivered), TimeDelta::FromSeconds(kDuration)).ToMbps() /
+      20.0;
+  const QdiscStats& qs = probe->stats();
+  r.drop_permille = 1000.0 * static_cast<double>(qs.dropped_packets) /
+                    std::max<uint64_t>(1, qs.enqueued_packets + qs.dropped_packets);
+  r.sender_delay_ms = sender_delay;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== AQM study: pfifo_fast vs RED vs CoDel vs FQ-CoDel vs PIE ===\n");
+  std::printf("Setup: 20 Mbps / 50 ms RTT bottleneck, instrumented queue, 40 s per cell\n\n");
+
+  const QdiscType kQdiscs[] = {QdiscType::kPfifoFast, QdiscType::kRed, QdiscType::kCoDel,
+                               QdiscType::kFqCoDel, QdiscType::kPie};
+  bool shape_ok = true;
+  for (int flows : {1, 4}) {
+    std::printf("--- %d flow(s) ---\n", flows);
+    TablePrinter table({"qdisc", "queue p50 (ms)", "queue p95 (ms)", "drops (permille)",
+                        "utilization", "sender delay (ms)"});
+    double fifo_p50 = 0;
+    double codel_p50 = 0;
+    double red_p50 = 0;
+    for (QdiscType q : kQdiscs) {
+      CellResult r = RunCell(5000 + static_cast<uint64_t>(flows), q, flows);
+      table.AddRow({DescribeQdisc(q), TablePrinter::Fmt(r.sojourn_p50_ms, 2),
+                    TablePrinter::Fmt(r.sojourn_p95_ms, 2),
+                    TablePrinter::Fmt(r.drop_permille, 2),
+                    TablePrinter::Fmt(r.utilization * 100, 1) + "%",
+                    TablePrinter::Fmt(r.sender_delay_ms, 1)});
+      if (q == QdiscType::kPfifoFast) {
+        fifo_p50 = r.sojourn_p50_ms;
+      }
+      if (q == QdiscType::kCoDel) {
+        codel_p50 = r.sojourn_p50_ms;
+      }
+      if (q == QdiscType::kRed) {
+        red_p50 = r.sojourn_p50_ms;
+      }
+      if (q != QdiscType::kPfifoFast && r.utilization < 0.6) {
+        shape_ok = false;  // AQMs must not wreck utilization
+      }
+    }
+    std::printf("%s\n", table.Render().c_str());
+    // Both AQM families beat the FIFO's standing queue; CoDel's sojourn
+    // target (5 ms) holds it below RED's min-threshold operating point.
+    if (codel_p50 > fifo_p50 * 0.5 || red_p50 > fifo_p50 * 0.9) {
+      shape_ok = false;
+    }
+  }
+  std::printf("Shape check: AQMs cut the standing queue (CoDel hardest) at high utilization,\n"
+              "while the sender-side delay column stays large for every discipline —\n"
+              "the paper's motivating gap.\nSHAPE %s\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

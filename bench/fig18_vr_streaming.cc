@@ -1,0 +1,107 @@
+// Figure 18: 360-degree VR streaming with and without ELEMENT, over plain
+// Cubic (a) and Cubic behind a CoDel bottleneck (b). Reports the frame-delay
+// CDF and throughput-over-frame-index series the paper plots.
+//
+// Expected shape: without ELEMENT >40% (Cubic) / ~10% (Cubic+CoDel) of frames
+// miss the 200 ms deadline; with ELEMENT almost none do, at a steady rate.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/vr_app.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/flow_meter.h"
+
+#include "bench/harness.h"
+
+using namespace element;
+
+namespace {
+
+struct VrResult {
+  SampleSet frame_delays;
+  double miss_fraction = 0.0;
+  uint64_t frames = 0;
+  TimeSeries throughput;
+};
+
+VrResult RunOne(uint64_t seed, bool with_element, QdiscType qdisc) {
+  PathConfig path;
+  path.rate = DataRate::Mbps(50);
+  path.one_way_delay = TimeDelta::FromMillis(10);
+  path.qdisc = qdisc;
+  path.queue_limit_packets = 80;
+  Testbed bed(seed, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  std::unique_ptr<ElementSocket> em;
+  if (with_element) {
+    ElementSocket::Options opt;
+    em = std::make_unique<ElementSocket>(&bed.loop(), flow.sender, opt);
+  }
+  VrConfig cfg;
+  VrServer server(&bed.loop(), flow.sender, em.get(), cfg);
+  VrClient client(&bed.loop(), flow.receiver, &server, cfg);
+  server.Start();
+  client.Start();
+  FlowMeter meter(&bed.loop(), flow.receiver, TimeDelta::FromMillis(250));
+  meter.Start();
+  bed.loop().RunUntil(SimTime::FromNanos(30'000'000'000LL));
+  VrResult r;
+  r.frame_delays = client.frame_delays();
+  r.miss_fraction = client.DeadlineMissFraction();
+  r.frames = client.frames_received();
+  r.throughput = meter.throughput_mbps();
+  return r;
+}
+
+void PrintCase(const char* name, const VrResult& plain, const VrResult& with_em) {
+  std::printf("--- %s ---\n", name);
+  std::printf("frame-delay CDF (ms):\n%-10s %-14s %-14s\n", "quantile", "plain", "+ELEMENT");
+  for (double q : kCdfQuantiles) {
+    std::printf("p%-9.1f %-14.1f %-14.1f\n", q * 100, plain.frame_delays.Quantile(q) * 1000,
+                with_em.frame_delays.Quantile(q) * 1000);
+  }
+  std::printf("deadline (200 ms) miss fraction: plain %.1f%% vs +ELEMENT %.1f%%\n",
+              plain.miss_fraction * 100, with_em.miss_fraction * 100);
+  std::printf("frames delivered: plain %lu vs +ELEMENT %lu\n",
+              static_cast<unsigned long>(plain.frames),
+              static_cast<unsigned long>(with_em.frames));
+  RunningStats ps = plain.throughput.Summary();
+  RunningStats es = with_em.throughput.Summary();
+  std::printf("throughput Mbps (mean/stdev): plain %.1f/%.1f vs +ELEMENT %.1f/%.1f\n\n",
+              ps.mean(), ps.Stdev(), es.mean(), es.Stdev());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 18: VR streaming frame delay & throughput ===\n");
+  std::printf("Setup: 60 fps 360-video, 200 ms deadline, 50 Mbps / 20 ms RTT, 30 s\n\n");
+
+  VrResult cubic_plain = RunOne(1101, false, QdiscType::kPfifoFast);
+  VrResult cubic_em = RunOne(1102, true, QdiscType::kPfifoFast);
+  PrintCase("(a) TCP Cubic", cubic_plain, cubic_em);
+
+  VrResult codel_plain = RunOne(1103, false, QdiscType::kCoDel);
+  VrResult codel_em = RunOne(1104, true, QdiscType::kCoDel);
+  PrintCase("(b) TCP Cubic + CoDel", codel_plain, codel_em);
+
+  bool shape_ok = true;
+  if (cubic_plain.miss_fraction < 0.30) {
+    shape_ok = false;  // paper: >40% misses without ELEMENT
+  }
+  if (codel_plain.miss_fraction < 0.08) {
+    shape_ok = false;  // AQM alone is not sufficient either...
+  }
+  if (cubic_em.miss_fraction > 0.05 || codel_em.miss_fraction > 0.05) {
+    shape_ok = false;  // ...only ELEMENT nearly eliminates misses
+  }
+  std::printf(
+      "Paper shape check: without ELEMENT a large share of frames miss the 200 ms\n"
+      "deadline (paper: >40%% Cubic, ~10%% Cubic+CoDel); ELEMENT nearly eliminates\n"
+      "misses at steady throughput. Deviation note: in this reproduction CoDel does\n"
+      "not beat plain Cubic because the *sender-side* buffer (untouchable by any\n"
+      "AQM) dominates the frame delay — which is the paper's own thesis.\nSHAPE %s\n",
+      shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

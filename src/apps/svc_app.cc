@@ -1,0 +1,75 @@
+#include "src/apps/svc_app.h"
+
+namespace element {
+
+SvcStreamer::SvcStreamer(EventLoop* loop, ElementSocket* em, const SvcConfig& config)
+    : loop_(loop),
+      em_(em),
+      config_(config),
+      frame_timer_(loop, TimeDelta::FromSeconds(1.0 / config.fps), [this] { OnFrameTick(); }) {
+  stats_.resize(config_.enhancement_bytes.size() + 1);
+}
+
+void SvcStreamer::Start() {
+  running_ = true;
+  em_->SetReadyToSendCallback([this] { Pump(); });
+  frame_timer_.Start();
+}
+
+void SvcStreamer::Stop() {
+  running_ = false;
+  frame_timer_.Stop();
+}
+
+void SvcStreamer::OnFrameTick() {
+  if (!running_ || !em_->socket()->established()) {
+    return;
+  }
+  ++frames_;
+  // All layers enter the application buffer; the shedding decision happens at
+  // the TCP boundary, with fresh delay information (§4.4).
+  Chunk base{frames_, 0, config_.base_layer_bytes, loop_->now()};
+  queue_.push_back(base);
+  ++stats_[0].enqueued;
+  for (size_t k = 0; k < config_.enhancement_bytes.size(); ++k) {
+    Chunk enh{frames_, static_cast<int>(k + 1), config_.enhancement_bytes[k], loop_->now()};
+    queue_.push_back(enh);
+    ++stats_[k + 1].enqueued;
+  }
+  Pump();
+}
+
+void SvcStreamer::Pump() {
+  while (!queue_.empty()) {
+    Chunk& chunk = queue_.front();
+    if (chunk.layer > 0) {
+      // Enhancement layers are shed when the measured send-buffer delay
+      // exceeds their (tighter, for higher layers) share of the budget, or
+      // when they have already waited out most of the budget in the app queue.
+      TimeDelta budget = config_.delay_budget * (1.0 / chunk.layer);
+      TimeDelta send_delay = TimeDelta::FromSeconds(em_->send_buffer_delay_s());
+      TimeDelta waited = loop_->now() - chunk.generated;
+      if (send_delay > budget || waited > config_.delay_budget) {
+        ++stats_[static_cast<size_t>(chunk.layer)].shed;
+        queue_.pop_front();
+        continue;
+      }
+    }
+    RetInfo info = em_->Send(chunk.remaining);
+    if (info.size <= 0) {
+      return;  // gated or buffer full; the ready callback resumes us
+    }
+    chunk.remaining -= static_cast<size_t>(info.size);
+    if (chunk.remaining == 0) {
+      ++stats_[static_cast<size_t>(chunk.layer)].sent;
+      if (chunk.layer == 0) {
+        // Sender-side latency proxy: app-queue wait + current buffer delay.
+        base_delays_.Add((loop_->now() - chunk.generated).ToSeconds() +
+                         em_->send_buffer_delay_s());
+      }
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace element

@@ -1,0 +1,77 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace element {
+
+bool Flags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : v;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? def : static_cast<int64_t>(v);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (read_.find(name) == read_.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace element

@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the example/CLI binaries:
+// `--name value` and `--name=value` forms, typed getters with defaults, and
+// leftover positional arguments.
+
+#ifndef ELEMENT_SRC_COMMON_FLAGS_H_
+#define ELEMENT_SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace element {
+
+class Flags {
+ public:
+  // Parses argv; returns false (and sets error()) on a malformed flag
+  // (missing value at end of line).
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string GetString(const std::string& name, const std::string& def = "") const;
+  double GetDouble(const std::string& name, double def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  // A bare `--name` (no value) or `--name true|1` is true.
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  // Names seen during parsing but never read by a Get*: typo detection.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_COMMON_FLAGS_H_

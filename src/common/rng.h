@@ -1,0 +1,51 @@
+// Deterministic random number generator used throughout the simulator.
+//
+// Every experiment takes an explicit seed so that runs are reproducible;
+// components that need independent streams Fork() a child generator.
+
+#ifndef ELEMENT_SRC_COMMON_RNG_H_
+#define ELEMENT_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace element {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Independent child stream derived from this generator's state.
+  Rng Fork() { return Rng(engine_()); }
+
+  double Uniform() { return uniform_(engine_); }  // [0, 1)
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  int64_t UniformInt(int64_t lo, int64_t hi) {  // inclusive range
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  bool Bernoulli(double p) { return Uniform() < p; }
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  // Normal clipped at zero; convenient for jitter terms.
+  double NonNegNormal(double mean, double stddev) {
+    double v = Normal(mean, stddev);
+    return v < 0.0 ? 0.0 : v;
+  }
+  double Pareto(double scale, double shape) {
+    return scale / std::pow(1.0 - Uniform(), 1.0 / shape);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_COMMON_RNG_H_

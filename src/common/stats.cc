@@ -1,0 +1,230 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace element {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::Stdev() const { return std::sqrt(Variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double v : samples_) {
+    s += v;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stdev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double m = mean();
+  double s = 0.0;
+  for (double v : samples_) {
+    s += (v - m) * (v - m);
+  }
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double SampleSet::max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::Quantile(double q) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return sorted_.front();
+  }
+  if (q >= 1.0) {
+    return sorted_.back();
+  }
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double SampleSet::FractionBelow(double x) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::string SampleSet::CdfRows(const std::vector<double>& quantiles,
+                               const std::string& label) const {
+  std::ostringstream os;
+  for (double q : quantiles) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-28s p%-5.1f %.6f\n", label.c_str(), q * 100.0,
+                  Quantile(q));
+    os << buf;
+  }
+  return os.str();
+}
+
+void TimeSeries::Add(SimTime t, double v) { points_.push_back({t, v}); }
+
+bool TimeSeries::InterpolateAt(SimTime t, double* out) const {
+  if (points_.empty()) {
+    return false;
+  }
+  if (t <= points_.front().t) {
+    *out = points_.front().v;
+    return true;
+  }
+  if (t >= points_.back().t) {
+    *out = points_.back().v;
+    return true;
+  }
+  auto it = std::lower_bound(points_.begin(), points_.end(), t,
+                             [](const Point& p, SimTime when) { return p.t < when; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  TimeDelta span = hi.t - lo.t;
+  if (span.nanos() <= 0) {
+    *out = lo.v;
+    return true;
+  }
+  double frac = (t - lo.t) / span;
+  *out = lo.v * (1.0 - frac) + hi.v * frac;
+  return true;
+}
+
+RunningStats TimeSeries::Summary() const {
+  RunningStats rs;
+  for (const Point& p : points_) {
+    rs.Add(p.v);
+  }
+  return rs;
+}
+
+double TimeSeries::MeanAfter(SimTime from) const {
+  RunningStats rs;
+  for (const Point& p : points_) {
+    if (p.t >= from) {
+      rs.Add(p.v);
+    }
+  }
+  return rs.mean();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      os << cell;
+      for (size_t pad = cell.size(); pad < widths[i] + 2; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+}  // namespace element

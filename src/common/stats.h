@@ -1,0 +1,115 @@
+// Statistics containers used by the trace/accuracy machinery and by the
+// benchmark harnesses: streaming moments (Welford), quantile/CDF sample sets,
+// and timestamped series.
+
+#ifndef ELEMENT_SRC_COMMON_STATS_H_
+#define ELEMENT_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace element {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double Stdev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores raw samples; answers quantile queries and prints CDF rows.
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double Stdev() const;
+  double min() const;
+  double max() const;
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  // Fraction of samples <= x.
+  double FractionBelow(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // "q value" rows at the given quantiles, for figure reproduction output.
+  std::string CdfRows(const std::vector<double>& quantiles, const std::string& label) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// (time, value) series, e.g. a delay trace. Supports linear interpolation,
+// which is how the paper compares ELEMENT samples against ground truth.
+class TimeSeries {
+ public:
+  void Add(SimTime t, double v);
+
+  size_t count() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  struct Point {
+    SimTime t;
+    double v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  // Linear interpolation at time t; clamps outside the recorded range.
+  // Returns false if the series is empty.
+  bool InterpolateAt(SimTime t, double* out) const;
+
+  RunningStats Summary() const;
+  // Mean restricted to t >= from (skips e.g. slow-start transients).
+  double MeanAfter(SimTime from) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Pretty table printer shared by the bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+  static std::string Fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_COMMON_STATS_H_

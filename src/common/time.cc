@@ -1,0 +1,29 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace element {
+
+std::string TimeDelta::ToString() const {
+  char buf[64];
+  if (IsInfinite()) {
+    return "+inf";
+  }
+  if (ns_ >= 1000000 || ns_ <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillisF());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  if (IsInfinite()) {
+    return "+inf";
+  }
+  std::snprintf(buf, sizeof(buf), "%.6fs", ToSeconds());
+  return buf;
+}
+
+}  // namespace element

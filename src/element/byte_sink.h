@@ -1,0 +1,44 @@
+// Minimal stream-writer interface, standing in for "the BSD socket library"
+// from a legacy application's point of view. Legacy apps (e.g. IperfApp)
+// write through a ByteSink; swapping a RawTcpSink for an InterposedSink is
+// the simulation analogue of LD_PRELOAD-ing the ELEMENT shared library.
+
+#ifndef ELEMENT_SRC_ELEMENT_BYTE_SINK_H_
+#define ELEMENT_SRC_ELEMENT_BYTE_SINK_H_
+
+#include <functional>
+
+#include "src/tcpsim/tcp_socket.h"
+
+namespace element {
+
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  // Non-blocking write of up to n bytes; returns bytes accepted (0 = would
+  // block or is being paced).
+  virtual size_t Write(size_t n) = 0;
+  // Invoked when a previously short/blocked write may be retried.
+  virtual void SetWritableCallback(std::function<void()> cb) = 0;
+  virtual TcpSocket* socket() = 0;
+};
+
+// Direct pass-through to the TCP socket (the unmodified legacy path).
+class RawTcpSink : public ByteSink {
+ public:
+  explicit RawTcpSink(TcpSocket* socket) : socket_(socket) {}
+
+  size_t Write(size_t n) override { return socket_->Write(n); }
+  void SetWritableCallback(std::function<void()> cb) override {
+    socket_->SetWritableCallback(std::move(cb));
+  }
+  TcpSocket* socket() override { return socket_; }
+
+ private:
+  TcpSocket* socket_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_BYTE_SINK_H_

@@ -1,0 +1,87 @@
+#include "src/element/delay_estimator.h"
+
+namespace element {
+
+uint64_t SenderDelayEstimator::EstimateSentBytes(const TcpInfoData& info) {
+  return info.tcpi_bytes_acked +
+         static_cast<uint64_t>(info.tcpi_unacked) * info.tcpi_snd_mss;
+}
+
+void SenderDelayEstimator::OnAppSend(uint64_t cumulative_bytes, SimTime t) {
+  records_.push_front({cumulative_bytes, t});
+}
+
+uint64_t SenderDelayEstimator::EstimateSentBytesForMatching(const TcpInfoData& info) const {
+  if (formula_ == SentBytesFormula::kNotsentBased && !records_.empty()) {
+    uint64_t latest_write = records_.front().bytes;
+    return latest_write > info.tcpi_notsent_bytes ? latest_write - info.tcpi_notsent_bytes : 0;
+  }
+  return EstimateSentBytes(info);
+}
+
+void SenderDelayEstimator::OnTcpInfoSample(const TcpInfoData& info, SimTime t) {
+  uint64_t best = EstimateSentBytesForMatching(info);
+  // Algorithm 1: walk from the back (oldest); every record whose cumulative
+  // byte count does not exceed the estimated sent bytes has fully left the
+  // TCP layer — its buffer delay is T - sendTime.
+  while (!records_.empty() && records_.back().bytes <= best) {
+    TimeDelta d = t - records_.back().send_time;
+    records_.pop_back();
+    latest_delay_ = d;
+    has_estimate_ = true;
+    double ds = d.ToSeconds();
+    samples_.Add(ds);
+    series_.Add(t, ds);
+    if (sink_) {
+      DelayReport report;
+      report.t = t;
+      report.delay = d;
+      report.snd_cwnd = info.tcpi_snd_cwnd;
+      report.snd_ssthresh = info.tcpi_snd_ssthresh;
+      report.rtt_us = info.tcpi_rtt_us;
+      sink_(report);
+    }
+  }
+}
+
+uint64_t ReceiverDelayEstimator::EstimateReceivedBytes(const TcpInfoData& info) {
+  return info.tcpi_segs_in * static_cast<uint64_t>(info.tcpi_rcv_mss);
+}
+
+void ReceiverDelayEstimator::OnTcpInfoSample(const TcpInfoData& info, SimTime t) {
+  uint64_t best = EstimateReceivedBytes(info);
+  if (best > prev_estimate_) {
+    prev_estimate_ = best;
+    records_.push_front({best, t});
+  }
+}
+
+void ReceiverDelayEstimator::OnAppReceive(uint64_t cumulative_bytes, SimTime t,
+                                          const TcpInfoData& info) {
+  // Algorithm 2: discard records fully consumed by the application; the first
+  // record still ahead of the read position timestamps the bytes being read.
+  while (!records_.empty()) {
+    if (records_.back().bytes <= cumulative_bytes) {
+      records_.pop_back();
+      continue;
+    }
+    TimeDelta d = t - records_.back().recv_time;
+    latest_delay_ = d;
+    has_estimate_ = true;
+    double ds = d.ToSeconds();
+    samples_.Add(ds);
+    series_.Add(t, ds);
+    if (sink_) {
+      DelayReport report;
+      report.t = t;
+      report.delay = d;
+      report.snd_cwnd = info.tcpi_snd_cwnd;
+      report.snd_ssthresh = info.tcpi_snd_ssthresh;
+      report.rtt_us = info.tcpi_rtt_us;
+      sink_(report);
+    }
+    break;
+  }
+}
+
+}  // namespace element

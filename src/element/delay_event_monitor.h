@@ -1,0 +1,71 @@
+// Event-driven delay/jitter notification — the select()-like interface the
+// paper's Discussion (§7, "ELEMENT applications") proposes for
+// jitter-sensitive applications: instead of polling RetInfo, the application
+// registers thresholds and reacts the moment a delay or jitter excursion
+// happens.
+
+#ifndef ELEMENT_SRC_ELEMENT_DELAY_EVENT_MONITOR_H_
+#define ELEMENT_SRC_ELEMENT_DELAY_EVENT_MONITOR_H_
+
+#include <functional>
+
+#include "src/common/time.h"
+#include "src/element/delay_estimator.h"
+
+namespace element {
+
+class DelayEventMonitor {
+ public:
+  struct Thresholds {
+    // Fire when the estimated buffer delay exceeds this value.
+    TimeDelta delay_threshold = TimeDelta::Infinite();
+    // Fire when |delay - EWMA(delay)| exceeds this value (jitter excursion).
+    TimeDelta jitter_threshold = TimeDelta::Infinite();
+    // Re-arm hysteresis: no repeated events until the value falls below
+    // `rearm_fraction` x threshold.
+    double rearm_fraction = 0.8;
+    double ewma_weight = 1.0 / 8.0;
+  };
+
+  struct Event {
+    enum class Kind { kDelayExceeded, kJitterExceeded, kDelayRecovered };
+    Kind kind;
+    SimTime at;
+    TimeDelta delay;
+    TimeDelta jitter;
+  };
+  using Callback = std::function<void(const Event&)>;
+
+  DelayEventMonitor(const Thresholds& thresholds, Callback cb)
+      : thresholds_(thresholds), cb_(std::move(cb)) {}
+
+  // Attach to an estimator's report stream. Only one monitor per estimator
+  // (it takes over the report sink); chain manually if more are needed.
+  void Attach(SenderDelayEstimator* est) {
+    est->set_report_sink([this](const DelayReport& r) { OnReport(r); });
+  }
+  void Attach(ReceiverDelayEstimator* est) {
+    est->set_report_sink([this](const DelayReport& r) { OnReport(r); });
+  }
+
+  // Direct feed, for composing with an existing sink.
+  void OnReport(const DelayReport& report);
+
+  uint64_t delay_events() const { return delay_events_; }
+  uint64_t jitter_events() const { return jitter_events_; }
+  TimeDelta ewma_delay() const { return TimeDelta::FromSeconds(ewma_s_); }
+
+ private:
+  Thresholds thresholds_;
+  Callback cb_;
+  double ewma_s_ = 0.0;
+  bool have_ewma_ = false;
+  bool delay_armed_ = true;
+  bool jitter_armed_ = true;
+  uint64_t delay_events_ = 0;
+  uint64_t jitter_events_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_DELAY_EVENT_MONITOR_H_

@@ -1,0 +1,132 @@
+#include "src/element/element_socket.h"
+
+#include <utility>
+
+namespace element {
+
+ElementSocket::ElementSocket(EventLoop* loop, TcpSocket* socket, const Options& options)
+    : loop_(loop), socket_(socket), options_(options) {
+  tracker_ = std::make_unique<TcpInfoTracker>(loop, socket, options.tracker_period);
+  tracker_->set_sender_estimator(&sender_est_);
+  tracker_->set_receiver_estimator(&receiver_est_);
+  tracker_->set_path_estimator(&path_est_);
+  tracker_->Start();
+
+  if (options.enable_latency_minimization) {
+    if (options.controller_factory) {
+      controller_ = options.controller_factory(loop, socket);
+    } else {
+      controller_ = std::make_unique<LatencyMinimizer>(loop, socket, options.minimizer,
+                                                       options.is_wireless);
+    }
+    sender_est_.set_report_sink(
+        [this](const DelayReport& report) { controller_->OnDelayMeasurement(report.delay); });
+    controller_->Start();
+  }
+
+  socket_->SetWritableCallback([this] {
+    if (!ready_cb_) {
+      return;
+    }
+    if (MaySendNow()) {
+      ready_cb_();
+    } else if (controller_) {
+      // Buffer space opened while the pacing gate is closed: keep a retry
+      // armed, otherwise no event would ever wake the application again.
+      ArmGateRetry();
+    }
+  });
+}
+
+ElementSocket::~ElementSocket() {
+  *alive_ = false;
+  socket_->SetWritableCallback(nullptr);
+}
+
+RetInfo ElementSocket::MakeRetInfo(long size, double buf_delay_s) const {
+  RetInfo info;
+  info.size = size;
+  info.buf_delay_s = buf_delay_s;
+  info.throughput_mbps = tracker_->throughput().ToMbps();
+  info.rtt_s = socket_->smoothed_rtt().ToSeconds();
+  info.cwnd = static_cast<int>(tracker_->latest_info().tcpi_snd_cwnd);
+  return info;
+}
+
+bool ElementSocket::MaySendNow() const {
+  if (controller_ && !controller_->MaySendNow()) {
+    return false;
+  }
+  return socket_->SndBufFree() > 0;
+}
+
+void ElementSocket::SetLatencyBudget(TimeDelta budget) {
+  if (auto* algo3 = minimizer()) {
+    algo3->set_delay_threshold(budget);
+  }
+}
+
+void ElementSocket::SetReadyToSendCallback(std::function<void()> cb) {
+  ready_cb_ = std::move(cb);
+}
+
+void ElementSocket::ArmGateRetry() {
+  if (retry_armed_ || !controller_) {
+    return;
+  }
+  retry_armed_ = true;
+  TimeDelta delay = controller_->NextRetryDelay();
+  auto alive = alive_;
+  loop_->ScheduleAfter(delay, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    retry_armed_ = false;
+    if (ready_cb_) {
+      if (MaySendNow() || controller_->MaySendNow()) {
+        ready_cb_();
+      } else {
+        ArmGateRetry();
+      }
+    }
+  });
+}
+
+RetInfo ElementSocket::Send(size_t n) {
+  if (controller_ && !controller_->MaySendNow()) {
+    ArmGateRetry();
+    return MakeRetInfo(0, send_buffer_delay_s());
+  }
+  if (controller_) {
+    controller_->OnSendAllowed();
+    // Application-level *packet* pacing (§4.4): each admitted write is one
+    // segment's worth, so the S_target gate is re-evaluated at packet
+    // granularity. A large legacy write would otherwise blow through the
+    // gate in one call and defeat the pacing entirely.
+    n = std::min<size_t>(n, socket_->mss());
+  }
+  size_t accepted = socket_->Write(n);
+  if (accepted > 0) {
+    sender_est_.OnAppSend(socket_->app_bytes_written(), loop_->now());
+    if (controller_) {
+      controller_->OnBytesAdmitted(accepted, loop_->now());
+    }
+  }
+  // After the write, Algorithm 3 sleeps while the buffered-but-unsent amount
+  // exceeds S_target; in event-driven form that is the retry timer.
+  if (controller_ && !controller_->MaySendNow()) {
+    ArmGateRetry();
+  }
+  return MakeRetInfo(static_cast<long>(accepted), send_buffer_delay_s());
+}
+
+RetInfo ElementSocket::Read(size_t max) {
+  size_t n = socket_->Read(max);
+  if (n > 0) {
+    receiver_est_.OnAppReceive(socket_->app_bytes_read(), loop_->now(),
+                               tracker_->latest_info());
+  }
+  return MakeRetInfo(static_cast<long>(n), recv_buffer_delay_s());
+}
+
+}  // namespace element

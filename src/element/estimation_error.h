@@ -1,0 +1,32 @@
+// Accuracy scoring for ELEMENT's estimates against the kernel-profiler ground
+// truth (Section 4.3): since ELEMENT only samples periodically, each estimate
+// is compared with the ground-truth delay linearly interpolated at the
+// estimate's timestamp; errors feed the CDFs of Figures 6c, 7, and 8.
+
+#ifndef ELEMENT_SRC_ELEMENT_ESTIMATION_ERROR_H_
+#define ELEMENT_SRC_ELEMENT_ESTIMATION_ERROR_H_
+
+#include "src/common/stats.h"
+
+namespace element {
+
+struct AccuracyResult {
+  SampleSet errors;               // |estimate - ground truth| per sample, seconds
+  double mean_abs_error_s = 0.0;
+  double median_abs_error_s = 0.0;
+  double mean_ground_truth_s = 0.0;
+  // 1 - median|err| / max(mean ground truth, 25 ms), clamped to [0, 1] — the
+  // scalar summary for the paper's ">90% accuracy" claim. The median keeps
+  // the summary robust to the algorithm's rare-but-large stale-record spikes
+  // (an inherent artifact of the segs_in*mss overestimate across idle
+  // periods); the full error distribution is in `errors` and is what the
+  // paper's CDF figures (6c, 7, 8) report.
+  double accuracy = 0.0;
+  size_t compared_samples = 0;
+};
+
+AccuracyResult ScoreEstimates(const TimeSeries& estimates, const TimeSeries& ground_truth);
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_ESTIMATION_ERROR_H_

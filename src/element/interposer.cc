@@ -1,0 +1,35 @@
+#include "src/element/interposer.h"
+
+#include <utility>
+
+namespace element {
+
+InterposedSink::InterposedSink(EventLoop* loop, TcpSocket* socket, bool is_wireless,
+                               const MinimizerParams& params) {
+  ElementSocket::Options options;
+  options.is_wireless = is_wireless;
+  options.enable_latency_minimization = true;
+  options.minimizer = params;
+  em_ = std::make_unique<ElementSocket>(loop, socket, options);
+}
+
+size_t InterposedSink::Write(size_t n) {
+  // em_send admits at most one segment per call (packet pacing); loop until
+  // the gate closes or the buffer fills, so legacy apps that issue large
+  // writes still see ordinary short-write semantics.
+  size_t total = 0;
+  while (total < n) {
+    RetInfo info = em_->Send(n - total);
+    if (info.size <= 0) {
+      break;
+    }
+    total += static_cast<size_t>(info.size);
+  }
+  return total;
+}
+
+void InterposedSink::SetWritableCallback(std::function<void()> cb) {
+  em_->SetReadyToSendCallback(std::move(cb));
+}
+
+}  // namespace element

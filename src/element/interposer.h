@@ -1,0 +1,34 @@
+// Transparent legacy-application integration — the simulation analogue of
+// preloading ELEMENT's shared library with LD_PRELOAD (Section 4.5). A legacy
+// app that writes through a ByteSink is handed an InterposedSink instead of a
+// RawTcpSink; its code is unchanged, but every write now flows through
+// ELEMENT's measurement and default latency-minimization algorithm.
+
+#ifndef ELEMENT_SRC_ELEMENT_INTERPOSER_H_
+#define ELEMENT_SRC_ELEMENT_INTERPOSER_H_
+
+#include <memory>
+
+#include "src/element/byte_sink.h"
+#include "src/element/element_socket.h"
+
+namespace element {
+
+class InterposedSink : public ByteSink {
+ public:
+  InterposedSink(EventLoop* loop, TcpSocket* socket, bool is_wireless = false,
+                 const MinimizerParams& params = MinimizerParams());
+
+  size_t Write(size_t n) override;
+  void SetWritableCallback(std::function<void()> cb) override;
+  TcpSocket* socket() override { return em_->socket(); }
+
+  ElementSocket& element() { return *em_; }
+
+ private:
+  std::unique_ptr<ElementSocket> em_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_INTERPOSER_H_

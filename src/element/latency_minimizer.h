@@ -1,0 +1,75 @@
+// ELEMENT's default latency-minimization algorithm (Algorithm 3): an
+// application-layer analogue of FAST TCP. It adapts S_target — the amount of
+// data allowed to sit unsent in the TCP send buffer — by the ratio of the
+// measured average buffer delay to a threshold:
+//     S_target <- min( beta * cwnd * mss, (D_thr / D_avg)^delta * S_target )
+// and gates application writes with an escalating sleep ladder (cnt^lambda ms,
+// at most delta_max sleeps per send).
+
+#ifndef ELEMENT_SRC_ELEMENT_LATENCY_MINIMIZER_H_
+#define ELEMENT_SRC_ELEMENT_LATENCY_MINIMIZER_H_
+
+#include "src/element/delay_estimator.h"
+#include "src/element/rate_controller.h"
+#include "src/evloop/event_loop.h"
+#include "src/tcpsim/tcp_socket.h"
+
+namespace element {
+
+struct MinimizerParams {
+  TimeDelta delay_threshold = TimeDelta::FromMillis(25);  // D_thr
+  double delta = 0.25;        // adjustment exponent
+  double beta = 2.1;          // cwnd cap multiplier
+  double gamma = 1.1;         // wireless sndbuf multiplier
+  int max_sleeps = 8;         // delta in the paper's sleep loop
+  double lambda = 1.5;        // sleep time = cnt^lambda milliseconds
+  double ewma_weight = 1.0 / 8.0;  // D_avg <- 7/8 D_avg + 1/8 D_measured
+};
+
+class LatencyMinimizer : public RateController {
+ public:
+  LatencyMinimizer(EventLoop* loop, TcpSocket* socket, const MinimizerParams& params,
+                   bool is_wireless);
+
+  void Start() override { check_timer_.Start(); }
+  void Stop() override { check_timer_.Stop(); }
+
+  // Feed each new send-buffer delay measurement (Algorithm 1's output).
+  void OnDelayMeasurement(TimeDelta measured) override;
+
+  // True when the application may push more data: the estimated amount
+  // buffered-but-unsent in the TCP layer is within S_target, or the sleep
+  // budget for this send is exhausted.
+  bool MaySendNow() const override;
+  // Next retry delay when gated (advances the sleep ladder).
+  TimeDelta NextRetryDelay() override;
+  // Reset the ladder after an allowed send.
+  void OnSendAllowed() override { sleep_count_ = 0; }
+  std::string name() const override { return "algorithm3"; }
+
+  uint64_t starget_bytes() const { return static_cast<uint64_t>(starget_); }
+  TimeDelta average_delay() const { return TimeDelta::FromSeconds(avg_delay_s_); }
+  const MinimizerParams& params() const { return params_; }
+  // QoS hook (§7): applications can state their latency requirement, which
+  // becomes Algorithm 3's D_thr.
+  void set_delay_threshold(TimeDelta d_thr) { params_.delay_threshold = d_thr; }
+
+ private:
+  void CheckAndAdjust();
+
+  EventLoop* loop_;
+  TcpSocket* socket_;
+  MinimizerParams params_;
+  bool is_wireless_;
+
+  PeriodicTimer check_timer_;
+  SimTime last_adjust_;
+  double avg_delay_s_ = 0.0;
+  bool have_delay_ = false;
+  double starget_ = 0.0;  // bytes; 0 = uninitialized
+  int sleep_count_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_LATENCY_MINIMIZER_H_

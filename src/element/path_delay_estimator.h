@@ -1,0 +1,45 @@
+// Network-path delay decomposition from tcp_info alone: the third column of
+// the paper's Table 1. ELEMENT reports the network delay as half the smoothed
+// RTT; keeping a windowed minimum additionally splits it into a propagation
+// estimate and the current queueing component.
+
+#ifndef ELEMENT_SRC_ELEMENT_PATH_DELAY_ESTIMATOR_H_
+#define ELEMENT_SRC_ELEMENT_PATH_DELAY_ESTIMATOR_H_
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/tcpsim/tcp_info.h"
+
+namespace element {
+
+class PathDelayEstimator {
+ public:
+  PathDelayEstimator() = default;
+
+  void OnTcpInfoSample(const TcpInfoData& info, SimTime t);
+
+  bool has_estimate() const { return has_estimate_; }
+  TimeDelta smoothed_rtt() const { return srtt_; }
+  // Propagation floor: the smallest RTT ever reported by the kernel.
+  TimeDelta base_rtt() const { return base_rtt_; }
+  // Standing queueing along the path (both directions).
+  TimeDelta queueing() const {
+    return srtt_ > base_rtt_ ? srtt_ - base_rtt_ : TimeDelta::Zero();
+  }
+  // The paper's "average network delay" estimate: half the smoothed RTT.
+  TimeDelta one_way_network_delay() const { return srtt_ / 2; }
+
+  const SampleSet& network_delay_samples() const { return samples_; }
+  const TimeSeries& queueing_series() const { return queueing_series_; }
+
+ private:
+  bool has_estimate_ = false;
+  TimeDelta srtt_ = TimeDelta::Zero();
+  TimeDelta base_rtt_ = TimeDelta::Infinite();
+  SampleSet samples_;
+  TimeSeries queueing_series_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_PATH_DELAY_ESTIMATOR_H_

@@ -1,0 +1,42 @@
+#include "src/element/tcp_info_tracker.h"
+
+namespace element {
+
+TcpInfoTracker::TcpInfoTracker(EventLoop* loop, TcpSocket* socket, TimeDelta period)
+    : loop_(loop), socket_(socket), timer_(loop, period, [this] { PollNow(); }) {}
+
+DataRate TcpInfoTracker::throughput() const {
+  if (acked_history_.size() < 2) {
+    return DataRate::Zero();
+  }
+  const AckedPoint& oldest = acked_history_.front();
+  const AckedPoint& newest = acked_history_.back();
+  TimeDelta span = newest.t - oldest.t;
+  if (span <= TimeDelta::Zero()) {
+    return DataRate::Zero();
+  }
+  return RateOver(static_cast<int64_t>(newest.bytes_acked - oldest.bytes_acked), span);
+}
+
+void TcpInfoTracker::PollNow() {
+  latest_ = use_shared_page_ ? socket_->SharedInfoPage() : socket_->GetTcpInfo();
+  ++samples_;
+  SimTime now = loop_->now();
+
+  acked_history_.push_back({now, latest_.tcpi_bytes_acked});
+  while (acked_history_.size() > 2 && now - acked_history_.front().t > kThroughputWindow) {
+    acked_history_.pop_front();
+  }
+
+  if (sender_est_ != nullptr) {
+    sender_est_->OnTcpInfoSample(latest_, now);
+  }
+  if (receiver_est_ != nullptr) {
+    receiver_est_->OnTcpInfoSample(latest_, now);
+  }
+  if (path_est_ != nullptr) {
+    path_est_->OnTcpInfoSample(latest_, now);
+  }
+}
+
+}  // namespace element

@@ -1,0 +1,72 @@
+// The tcp_info tracking "thread": polls getsockopt(TCP_INFO) every P (10 ms
+// by default, the paper's accuracy/overhead compromise) and feeds the delay
+// estimators. Also derives TCP-layer throughput from bytes-acked deltas.
+
+#ifndef ELEMENT_SRC_ELEMENT_TCP_INFO_TRACKER_H_
+#define ELEMENT_SRC_ELEMENT_TCP_INFO_TRACKER_H_
+
+#include <deque>
+
+#include "src/common/data_rate.h"
+#include "src/evloop/event_loop.h"
+#include "src/element/delay_estimator.h"
+#include "src/element/path_delay_estimator.h"
+#include "src/tcpsim/tcp_socket.h"
+
+namespace element {
+
+class TcpInfoTracker {
+ public:
+  static constexpr TimeDelta kDefaultPeriod = TimeDelta::FromMillis(10);
+
+  TcpInfoTracker(EventLoop* loop, TcpSocket* socket, TimeDelta period = kDefaultPeriod);
+
+  // §7 optimization: poll through the socket's versioned shared info page
+  // instead of a full getsockopt-style snapshot per poll.
+  void set_use_shared_page(bool use) { use_shared_page_ = use; }
+  bool use_shared_page() const { return use_shared_page_; }
+
+  void set_sender_estimator(SenderDelayEstimator* est) { sender_est_ = est; }
+  void set_receiver_estimator(ReceiverDelayEstimator* est) { receiver_est_ = est; }
+  void set_path_estimator(PathDelayEstimator* est) { path_est_ = est; }
+
+  void Start() { timer_.Start(); }
+  void Stop() { timer_.Stop(); }
+  TimeDelta period() const { return timer_.period(); }
+
+  // Latest polled snapshot (also reachable via socket->GetTcpInfo(), but this
+  // is what user code would have, sampled at the tracker cadence).
+  const TcpInfoData& latest_info() const { return latest_; }
+  // Throughput at the TCP layer: ACKed bytes over a trailing window (ACK
+  // arrivals are bursty at the poll granularity, so a window — rather than a
+  // per-poll EWMA — gives an unaliased rate).
+  DataRate throughput() const;
+  uint64_t samples_taken() const { return samples_; }
+
+  // Forces an immediate poll (used by em_send/em_read wrappers so their
+  // returned info is fresh).
+  void PollNow();
+
+ private:
+  EventLoop* loop_;
+  TcpSocket* socket_;
+  PeriodicTimer timer_;
+  SenderDelayEstimator* sender_est_ = nullptr;
+  ReceiverDelayEstimator* receiver_est_ = nullptr;
+  PathDelayEstimator* path_est_ = nullptr;
+
+  bool use_shared_page_ = false;
+  TcpInfoData latest_;
+  uint64_t samples_ = 0;
+
+  struct AckedPoint {
+    SimTime t;
+    uint64_t bytes_acked;
+  };
+  static constexpr TimeDelta kThroughputWindow = TimeDelta::FromMillis(1000);
+  std::deque<AckedPoint> acked_history_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_ELEMENT_TCP_INFO_TRACKER_H_

@@ -1,0 +1,110 @@
+#include "src/evloop/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace element {
+
+EventLoop::EventId EventLoop::ScheduleAt(SimTime at, Callback cb) {
+  if (at < now_) {
+    at = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventLoop::EventId EventLoop::ScheduleAfter(TimeDelta delay, Callback cb) {
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventLoop::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it != callbacks_.end()) {
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+  }
+}
+
+bool EventLoop::PopRunnable(SimTime deadline, Event* out) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (ev.at > deadline) {
+      return false;
+    }
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    *out = ev;
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && PopRunnable(SimTime::Infinite(), &ev)) {
+    now_ = ev.at;
+    auto it = callbacks_.find(ev.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    cb();
+  }
+}
+
+void EventLoop::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && PopRunnable(deadline, &ev)) {
+    now_ = ev.at;
+    auto it = callbacks_.find(ev.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    cb();
+  }
+  if (!stopped_ && deadline > now_ && !deadline.IsInfinite()) {
+    now_ = deadline;
+  }
+}
+
+PeriodicTimer::PeriodicTimer(EventLoop* loop, TimeDelta period, EventLoop::Callback cb)
+    : loop_(loop), period_(period), cb_(std::move(cb)) {}
+
+PeriodicTimer::~PeriodicTimer() { Stop(); }
+
+void PeriodicTimer::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  pending_ = loop_->ScheduleAfter(period_, [this] { Fire(); });
+}
+
+void PeriodicTimer::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  loop_->Cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTimer::Fire() {
+  if (!running_) {
+    return;
+  }
+  // Re-arm before invoking so the callback may Stop() or change the period.
+  pending_ = loop_->ScheduleAfter(period_, [this] { Fire(); });
+  cb_();
+}
+
+}  // namespace element

@@ -1,0 +1,101 @@
+// Discrete-event simulation core: a monotonic virtual clock and an ordered
+// queue of callbacks. Everything else in this repository (links, TCP stacks,
+// the ELEMENT trackers that the paper runs as threads) is driven by this loop,
+// which makes runs deterministic and reproducible.
+
+#ifndef ELEMENT_SRC_EVLOOP_EVENT_LOOP_H_
+#define ELEMENT_SRC_EVLOOP_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace element {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` at absolute time `at` (>= now). Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime at, Callback cb);
+  EventId ScheduleAfter(TimeDelta delay, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  // Runs until the queue drains or Stop() is called.
+  void Run();
+  // Runs events with time <= deadline, then sets now to the deadline.
+  void RunUntil(SimTime deadline);
+  void RunFor(TimeDelta d) { RunUntil(now_ + d); }
+  void Stop() { stopped_ = true; }
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    // Heap ordering: earliest time first; FIFO among equal times via id.
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return id > other.id;
+    }
+  };
+
+  bool PopRunnable(SimTime deadline, Event* out);
+
+  SimTime now_ = SimTime::Zero();
+  EventId next_id_ = 1;
+  uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+// Repeating timer built on EventLoop; the simulation analogue of the paper's
+// periodic tcp_info tracking thread. The callback runs every `period` until
+// Stop() is called or the timer is destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(EventLoop* loop, TimeDelta period, EventLoop::Callback cb);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  TimeDelta period() const { return period_; }
+  void set_period(TimeDelta p) { period_ = p; }
+
+ private:
+  void Fire();
+
+  EventLoop* loop_;
+  TimeDelta period_;
+  EventLoop::Callback cb_;
+  bool running_ = false;
+  EventLoop::EventId pending_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_EVLOOP_EVENT_LOOP_H_

@@ -1,0 +1,88 @@
+#include "src/netsim/codel.h"
+
+#include <cmath>
+#include <utility>
+
+namespace element {
+
+SimTime CoDelState::ControlLawNext(SimTime t) const {
+  double scale = 1.0 / std::sqrt(static_cast<double>(count_ == 0 ? 1 : count_));
+  return t + params_.interval * scale;
+}
+
+bool CoDelState::ShouldDrop(TimeDelta sojourn, SimTime now, size_t queued_bytes) {
+  // Track whether the sojourn time has stayed above target for an interval.
+  bool ok_to_drop = false;
+  if (sojourn < params_.target || queued_bytes <= kFullPacketBytes) {
+    first_above_valid_ = false;
+  } else {
+    if (!first_above_valid_) {
+      first_above_valid_ = true;
+      first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+      ok_to_drop = true;
+    }
+  }
+
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+      return false;
+    }
+    if (now >= drop_next_) {
+      ++count_;
+      drop_next_ = ControlLawNext(drop_next_);
+      return true;
+    }
+    return false;
+  }
+
+  if (ok_to_drop) {
+    dropping_ = true;
+    // If we recently exited the dropping state, resume near the previous drop
+    // rate instead of restarting from 1 (RFC 8289 §5.4).
+    uint32_t delta = count_ - last_count_;
+    bool recently = (now - drop_next_) < params_.interval * 16.0;
+    count_ = (delta > 1 && recently) ? delta : 1;
+    drop_next_ = ControlLawNext(now);
+    last_count_ = count_;
+    return true;
+  }
+  return false;
+}
+
+CoDel::CoDel(const CoDelParams& params) : params_(params), state_(params) {}
+
+bool CoDel::Enqueue(Packet pkt, SimTime now) {
+  if (queue_.size() >= params_.limit_packets) {
+    CountDrop();
+    return false;
+  }
+  pkt.enqueued = now;
+  bytes_ += pkt.size_bytes;
+  CountEnqueue(pkt);
+  queue_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> CoDel::Dequeue(SimTime now) {
+  while (!queue_.empty()) {
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    TimeDelta sojourn = now - pkt.enqueued;
+    if (state_.ShouldDrop(sojourn, now, static_cast<size_t>(bytes_))) {
+      if (MarkInsteadOfDrop(pkt)) {
+        CountDequeue(pkt);
+        return pkt;
+      }
+      CountDrop();
+      continue;
+    }
+    CountDequeue(pkt);
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace element

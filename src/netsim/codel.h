@@ -1,0 +1,66 @@
+// CoDel active queue management (Nichols & Jacobson, RFC 8289): drops based
+// on packet sojourn time with an inverse-sqrt control law. One of the AQM
+// baselines in Figure 3 and the qdisc used in the VR experiment (Figure 18).
+
+#ifndef ELEMENT_SRC_NETSIM_CODEL_H_
+#define ELEMENT_SRC_NETSIM_CODEL_H_
+
+#include <deque>
+
+#include "src/netsim/qdisc.h"
+
+namespace element {
+
+struct CoDelParams {
+  TimeDelta target = TimeDelta::FromMillis(5);
+  TimeDelta interval = TimeDelta::FromMillis(100);
+  size_t limit_packets = 1000;
+};
+
+// CoDel control state, reusable by FqCoDel for its per-flow queues.
+class CoDelState {
+ public:
+  explicit CoDelState(const CoDelParams& params) : params_(params) {}
+
+  // Decides the fate of a packet whose sojourn time is known, at dequeue.
+  // Returns true if the packet should be dropped (caller may convert the
+  // drop to an ECN mark).
+  bool ShouldDrop(TimeDelta sojourn, SimTime now, size_t queued_bytes);
+
+  const CoDelParams& params() const { return params_; }
+  uint32_t drop_count() const { return count_; }
+  bool dropping() const { return dropping_; }
+
+ private:
+  SimTime ControlLawNext(SimTime t) const;
+
+  CoDelParams params_;
+  bool first_above_valid_ = false;
+  SimTime first_above_time_ = SimTime::Zero();
+  SimTime drop_next_ = SimTime::Zero();
+  uint32_t count_ = 0;
+  uint32_t last_count_ = 0;
+  bool dropping_ = false;
+  bool was_above_ = false;
+};
+
+class CoDel : public Qdisc {
+ public:
+  explicit CoDel(const CoDelParams& params = CoDelParams());
+
+  bool Enqueue(Packet pkt, SimTime now) override;
+  std::optional<Packet> Dequeue(SimTime now) override;
+  size_t packet_count() const override { return queue_.size(); }
+  int64_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "codel"; }
+
+ private:
+  CoDelParams params_;
+  CoDelState state_;
+  std::deque<Packet> queue_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_CODEL_H_

@@ -1,0 +1,122 @@
+#include "src/netsim/fq_codel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace element {
+
+FqCoDel::FqCoDel(const FqCoDelParams& params) : params_(params) {
+  buckets_.resize(params_.num_buckets);
+}
+
+size_t FqCoDel::BucketFor(const Packet& pkt) const {
+  // Flow ids are already per-connection; a multiplicative hash spreads them.
+  uint64_t h = pkt.flow_id * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h % params_.num_buckets);
+}
+
+void FqCoDel::DropFromLongestFlow() {
+  size_t victim = 0;
+  int64_t worst = -1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].bytes > worst) {
+      worst = buckets_[i].bytes;
+      victim = i;
+    }
+  }
+  FlowQueue& fq = buckets_[victim];
+  if (fq.packets.empty()) {
+    return;
+  }
+  // RFC 8290 drops from the head of the fattest flow.
+  Packet& head = fq.packets.front();
+  fq.bytes -= head.size_bytes;
+  total_bytes_ -= head.size_bytes;
+  --total_packets_;
+  CountDrop();
+  fq.packets.pop_front();
+}
+
+bool FqCoDel::Enqueue(Packet pkt, SimTime now) {
+  if (total_packets_ >= params_.limit_packets) {
+    DropFromLongestFlow();
+    if (total_packets_ >= params_.limit_packets) {
+      CountDrop();
+      return false;
+    }
+  }
+  size_t idx = BucketFor(pkt);
+  FlowQueue& fq = buckets_[idx];
+  if (!fq.codel) {
+    fq.codel = std::make_unique<CoDelState>(params_.codel);
+  }
+  pkt.enqueued = now;
+  fq.bytes += pkt.size_bytes;
+  total_bytes_ += pkt.size_bytes;
+  ++total_packets_;
+  CountEnqueue(pkt);
+  fq.packets.push_back(std::move(pkt));
+  if (!fq.active) {
+    fq.active = true;
+    fq.deficit = params_.quantum_bytes;
+    new_flows_.push_back(idx);
+  }
+  return true;
+}
+
+std::optional<Packet> FqCoDel::DequeueFromFlow(FlowQueue* fq, SimTime now) {
+  while (!fq->packets.empty()) {
+    Packet pkt = std::move(fq->packets.front());
+    fq->packets.pop_front();
+    fq->bytes -= pkt.size_bytes;
+    total_bytes_ -= pkt.size_bytes;
+    --total_packets_;
+    TimeDelta sojourn = now - pkt.enqueued;
+    if (fq->codel->ShouldDrop(sojourn, now, static_cast<size_t>(fq->bytes))) {
+      if (MarkInsteadOfDrop(pkt)) {
+        CountDequeue(pkt);
+        return pkt;
+      }
+      CountDrop();
+      continue;
+    }
+    CountDequeue(pkt);
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Packet> FqCoDel::Dequeue(SimTime now) {
+  for (int guard = 0; guard < 4 * static_cast<int>(params_.num_buckets) + 8; ++guard) {
+    std::list<size_t>* list = !new_flows_.empty() ? &new_flows_ : &old_flows_;
+    if (list->empty()) {
+      return std::nullopt;
+    }
+    size_t idx = list->front();
+    FlowQueue& fq = buckets_[idx];
+    if (fq.deficit <= 0) {
+      fq.deficit += params_.quantum_bytes;
+      // Move to the back of old_flows_.
+      list->pop_front();
+      old_flows_.push_back(idx);
+      continue;
+    }
+    std::optional<Packet> pkt = DequeueFromFlow(&fq, now);
+    if (!pkt.has_value()) {
+      // Flow went empty. A flow from new_flows_ gets one more shot on the old
+      // list; a flow from old_flows_ becomes inactive.
+      list->pop_front();
+      if (list == &new_flows_) {
+        old_flows_.push_back(idx);
+      } else {
+        fq.active = false;
+      }
+      continue;
+    }
+    fq.deficit -= pkt->size_bytes;
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace element

@@ -1,0 +1,58 @@
+// FQ-CoDel (RFC 8290): deficit-round-robin fair queueing across hashed flow
+// buckets, each governed by CoDel. Baseline qdisc in Figure 3.
+
+#ifndef ELEMENT_SRC_NETSIM_FQ_CODEL_H_
+#define ELEMENT_SRC_NETSIM_FQ_CODEL_H_
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "src/netsim/codel.h"
+#include "src/netsim/qdisc.h"
+
+namespace element {
+
+struct FqCoDelParams {
+  CoDelParams codel;
+  size_t num_buckets = 1024;
+  size_t limit_packets = 10240;
+  int64_t quantum_bytes = 1514;
+};
+
+class FqCoDel : public Qdisc {
+ public:
+  explicit FqCoDel(const FqCoDelParams& params = FqCoDelParams());
+
+  bool Enqueue(Packet pkt, SimTime now) override;
+  std::optional<Packet> Dequeue(SimTime now) override;
+  size_t packet_count() const override { return total_packets_; }
+  int64_t byte_count() const override { return total_bytes_; }
+  std::string name() const override { return "fq_codel"; }
+
+ private:
+  struct FlowQueue {
+    std::deque<Packet> packets;
+    int64_t bytes = 0;
+    int64_t deficit = 0;
+    std::unique_ptr<CoDelState> codel;
+    bool active = false;  // on new_flows_ or old_flows_
+  };
+
+  size_t BucketFor(const Packet& pkt) const;
+  // Runs CoDel on the head of `fq`; returns a surviving packet if any.
+  std::optional<Packet> DequeueFromFlow(FlowQueue* fq, SimTime now);
+  void DropFromLongestFlow();
+
+  FqCoDelParams params_;
+  std::vector<FlowQueue> buckets_;
+  std::list<size_t> new_flows_;
+  std::list<size_t> old_flows_;
+  size_t total_packets_ = 0;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_FQ_CODEL_H_

@@ -1,0 +1,49 @@
+// Packet representation shared by the link/qdisc layer and the transport
+// simulations. The network layer treats payloads as opaque; protocols attach
+// their own payload subclass (TcpSegmentPayload, UdpDatagramPayload, ...).
+
+#ifndef ELEMENT_SRC_NETSIM_PACKET_H_
+#define ELEMENT_SRC_NETSIM_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/time.h"
+
+namespace element {
+
+// Base class for protocol payloads carried inside a Packet.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct Packet {
+  uint64_t flow_id = 0;     // demultiplexing key (one id per connection)
+  uint32_t size_bytes = 0;  // wire size including all headers
+  uint32_t priority_band = 1;  // pfifo_fast band: 0 = high, 1 = normal, 2 = low
+
+  SimTime created;   // when the protocol emitted the packet
+  SimTime enqueued;  // stamped by the qdisc on enqueue
+
+  bool ecn_capable = false;  // ECT codepoint set
+  bool ecn_marked = false;   // CE codepoint set (by an AQM)
+
+  std::shared_ptr<const Payload> payload;
+};
+
+// Anything that accepts packets: pipes, demultiplexers, protocol endpoints.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Deliver(Packet pkt) = 0;
+};
+
+// Standard wire framing constants used across the simulation.
+inline constexpr uint32_t kIpTcpHeaderBytes = 52;  // IPv4 (20) + TCP w/ timestamps (32)
+inline constexpr uint32_t kIpUdpHeaderBytes = 28;  // IPv4 (20) + UDP (8)
+inline constexpr uint32_t kDefaultMss = 1448;      // 1500 MTU - 52 header
+inline constexpr uint32_t kFullPacketBytes = 1500;
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_PACKET_H_

@@ -1,0 +1,37 @@
+#include "src/netsim/pfifo_fast.h"
+
+#include <utility>
+
+namespace element {
+
+PfifoFast::PfifoFast(size_t limit_packets) : limit_(limit_packets) {}
+
+bool PfifoFast::Enqueue(Packet pkt, SimTime now) {
+  if (total_packets_ >= limit_) {
+    CountDrop();
+    return false;
+  }
+  pkt.enqueued = now;
+  size_t band = pkt.priority_band < kBands ? pkt.priority_band : kBands - 1;
+  total_bytes_ += pkt.size_bytes;
+  ++total_packets_;
+  CountEnqueue(pkt);
+  bands_[band].push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> PfifoFast::Dequeue(SimTime /*now*/) {
+  for (auto& band : bands_) {
+    if (!band.empty()) {
+      Packet pkt = std::move(band.front());
+      band.pop_front();
+      --total_packets_;
+      total_bytes_ -= pkt.size_bytes;
+      CountDequeue(pkt);
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace element

@@ -1,0 +1,61 @@
+// PIE — Proportional Integral controller Enhanced (RFC 8033). Probabilistic
+// drops at enqueue driven by an estimated queueing delay. AQM baseline in
+// Figure 3.
+
+#ifndef ELEMENT_SRC_NETSIM_PIE_H_
+#define ELEMENT_SRC_NETSIM_PIE_H_
+
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/netsim/qdisc.h"
+
+namespace element {
+
+struct PieParams {
+  TimeDelta target = TimeDelta::FromMillis(15);
+  TimeDelta update_interval = TimeDelta::FromMillis(15);
+  TimeDelta burst_allowance = TimeDelta::FromMillis(150);
+  double alpha = 0.125;  // 1/s of delay error
+  double beta = 1.25;
+  size_t limit_packets = 1000;
+};
+
+class Pie : public Qdisc {
+ public:
+  Pie(const PieParams& params, Rng rng);
+  explicit Pie(Rng rng) : Pie(PieParams(), std::move(rng)) {}
+
+  bool Enqueue(Packet pkt, SimTime now) override;
+  std::optional<Packet> Dequeue(SimTime now) override;
+  size_t packet_count() const override { return queue_.size(); }
+  int64_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "pie"; }
+
+  double drop_probability() const { return drop_prob_; }
+
+ private:
+  void MaybeUpdateProbability(SimTime now);
+  TimeDelta EstimateQueueDelay() const;
+
+  PieParams params_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  int64_t bytes_ = 0;
+
+  double drop_prob_ = 0.0;
+  TimeDelta qdelay_old_ = TimeDelta::Zero();
+  SimTime last_update_ = SimTime::Zero();
+  TimeDelta burst_left_ = TimeDelta::Zero();
+  bool first_update_done_ = false;
+
+  // Departure-rate estimation (simplified RFC 8033 §5.2): EWMA of the rate
+  // observed between dequeues while the queue is non-trivial.
+  double avg_drain_rate_bytes_per_sec_ = 0.0;
+  SimTime last_dequeue_ = SimTime::Zero();
+  bool have_last_dequeue_ = false;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_PIE_H_

@@ -1,0 +1,100 @@
+#include "src/netsim/pipe.h"
+
+#include <utility>
+
+namespace element {
+
+Pipe::Pipe(EventLoop* loop, Rng rng, std::unique_ptr<Qdisc> qdisc,
+           std::unique_ptr<LinkModel> link, PacketSink* out)
+    : loop_(loop),
+      rng_(std::move(rng)),
+      qdisc_(std::move(qdisc)),
+      link_(std::move(link)),
+      out_(out) {}
+
+void Pipe::Send(Packet pkt) {
+  // Kick the transmitter even when the queue drops this packet: the line may
+  // be idle with a backlog (e.g. just after an outage).
+  qdisc_->Enqueue(std::move(pkt), loop_->now());
+  MaybeStartTransmission();
+}
+
+TimeDelta Pipe::CurrentBacklogDelay() {
+  DataRate rate = link_->RateAt(loop_->now());
+  if (rate.IsZero()) {
+    return TimeDelta::Infinite();
+  }
+  return rate.TransmitTime(qdisc_->byte_count());
+}
+
+void Pipe::MaybeStartTransmission() {
+  if (busy_) {
+    return;
+  }
+  std::optional<Packet> pkt = qdisc_->Dequeue(loop_->now());
+  if (!pkt.has_value()) {
+    return;
+  }
+  busy_ = true;
+  TransmitOrPark(std::move(*pkt));
+}
+
+void Pipe::TransmitOrPark(Packet pkt) {
+  DataRate rate = link_->RateAt(loop_->now());
+  TimeDelta tx_time = rate.TransmitTime(pkt.size_bytes);
+  if (tx_time.IsInfinite()) {
+    // Link outage: hold this packet at the head of the line and retry; the
+    // pipe stays busy so ordering is preserved and nothing is re-dropped.
+    loop_->ScheduleAfter(TimeDelta::FromMillis(10), [this, p = std::move(pkt)]() mutable {
+      TransmitOrPark(std::move(p));
+    });
+    return;
+  }
+  loop_->ScheduleAfter(tx_time, [this, p = std::move(pkt)]() mutable {
+    OnTransmitComplete(std::move(p));
+  });
+}
+
+void Pipe::OnTransmitComplete(Packet pkt) {
+  busy_ = false;
+  if (link_->DropOnWire(rng_, loop_->now())) {
+    ++stats_.wire_dropped_packets;
+  } else {
+    SimTime deliver_at = loop_->now() + link_->PropagationDelay() + link_->JitterFor(rng_);
+    // Links do not reorder: clamp to the latest scheduled delivery.
+    if (deliver_at < last_delivery_) {
+      deliver_at = last_delivery_;
+    }
+    last_delivery_ = deliver_at;
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += pkt.size_bytes;
+    loop_->ScheduleAt(deliver_at, [this, p = std::move(pkt)]() mutable {
+      out_->Deliver(std::move(p));
+    });
+  }
+  MaybeStartTransmission();
+}
+
+void Demux::Deliver(Packet pkt) {
+  auto it = sinks_.find(pkt.flow_id);
+  if (it == sinks_.end()) {
+    if (fallback_ != nullptr) {
+      fallback_->Deliver(std::move(pkt));
+    } else {
+      ++unroutable_;
+    }
+    return;
+  }
+  it->second->Deliver(std::move(pkt));
+}
+
+DuplexPath::DuplexPath(EventLoop* loop, Rng* rng, std::unique_ptr<Qdisc> fwd_qdisc,
+                       std::unique_ptr<LinkModel> fwd_link, std::unique_ptr<Qdisc> rev_qdisc,
+                       std::unique_ptr<LinkModel> rev_link) {
+  forward_ = std::make_unique<Pipe>(loop, rng->Fork(), std::move(fwd_qdisc),
+                                    std::move(fwd_link), &server_demux_);
+  reverse_ = std::make_unique<Pipe>(loop, rng->Fork(), std::move(rev_qdisc),
+                                    std::move(rev_link), &client_demux_);
+}
+
+}  // namespace element

@@ -1,0 +1,100 @@
+// Pipe = qdisc + rate serializer + propagation/jitter/loss, one direction of
+// a path. DuplexPath pairs two pipes and demultiplexes deliveries to
+// registered protocol endpoints by flow id.
+
+#ifndef ELEMENT_SRC_NETSIM_PIPE_H_
+#define ELEMENT_SRC_NETSIM_PIPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/evloop/event_loop.h"
+#include "src/netsim/link_model.h"
+#include "src/netsim/qdisc.h"
+
+namespace element {
+
+struct PipeStats {
+  uint64_t delivered_packets = 0;
+  uint64_t delivered_bytes = 0;
+  uint64_t wire_dropped_packets = 0;
+};
+
+class Pipe : public PacketSink {
+ public:
+  Pipe(EventLoop* loop, Rng rng, std::unique_ptr<Qdisc> qdisc,
+       std::unique_ptr<LinkModel> link, PacketSink* out);
+
+  // PacketSink: feeding a pipe enqueues into its qdisc.
+  void Deliver(Packet pkt) override { Send(std::move(pkt)); }
+  void Send(Packet pkt);
+
+  Qdisc& qdisc() { return *qdisc_; }
+  LinkModel& link_model() { return *link_; }
+  const PipeStats& stats() const { return stats_; }
+
+  // Queueing + serialization delay a new arrival would currently see.
+  TimeDelta CurrentBacklogDelay();
+
+ private:
+  void MaybeStartTransmission();
+  void TransmitOrPark(Packet pkt);
+  void OnTransmitComplete(Packet pkt);
+
+  EventLoop* loop_;
+  Rng rng_;
+  std::unique_ptr<Qdisc> qdisc_;
+  std::unique_ptr<LinkModel> link_;
+  PacketSink* out_;
+  bool busy_ = false;
+  SimTime last_delivery_ = SimTime::Zero();  // enforces in-order delivery
+  PipeStats stats_;
+};
+
+// Routes delivered packets to per-flow endpoints.
+class Demux : public PacketSink {
+ public:
+  void Register(uint64_t flow_id, PacketSink* sink) { sinks_[flow_id] = sink; }
+  void Unregister(uint64_t flow_id) { sinks_.erase(flow_id); }
+  // Packets of unregistered flows go to the fallback (e.g. a TcpListener).
+  void SetFallback(PacketSink* sink) { fallback_ = sink; }
+  void Deliver(Packet pkt) override;
+  uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  std::unordered_map<uint64_t, PacketSink*> sinks_;
+  PacketSink* fallback_ = nullptr;
+  uint64_t unroutable_ = 0;
+};
+
+// A bidirectional path between two hosts ("client" and "server").
+class DuplexPath {
+ public:
+  DuplexPath(EventLoop* loop, Rng* rng, std::unique_ptr<Qdisc> fwd_qdisc,
+             std::unique_ptr<LinkModel> fwd_link, std::unique_ptr<Qdisc> rev_qdisc,
+             std::unique_ptr<LinkModel> rev_link);
+
+  // client -> server direction.
+  Pipe& forward() { return *forward_; }
+  // server -> client direction.
+  Pipe& reverse() { return *reverse_; }
+  // Endpoints at the server register here to receive forward-direction packets.
+  Demux& server_demux() { return server_demux_; }
+  // Endpoints at the client register here to receive reverse-direction packets.
+  Demux& client_demux() { return client_demux_; }
+
+  uint64_t AllocateFlowId() { return next_flow_id_++; }
+
+ private:
+  Demux server_demux_;
+  Demux client_demux_;
+  std::unique_ptr<Pipe> forward_;
+  std::unique_ptr<Pipe> reverse_;
+  uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_PIPE_H_

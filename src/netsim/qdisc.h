@@ -1,0 +1,75 @@
+// Queueing-discipline interface plus shared statistics. Concrete disciplines
+// (PfifoFast, CoDel, FqCoDel, Pie) mirror the Linux qdiscs the paper evaluates
+// in Sections 2.2 and 5.
+
+#ifndef ELEMENT_SRC_NETSIM_QDISC_H_
+#define ELEMENT_SRC_NETSIM_QDISC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/netsim/packet.h"
+
+namespace element {
+
+struct QdiscStats {
+  uint64_t enqueued_packets = 0;
+  uint64_t dequeued_packets = 0;
+  uint64_t dropped_packets = 0;
+  uint64_t ecn_marked_packets = 0;
+  uint64_t enqueued_bytes = 0;
+  uint64_t dequeued_bytes = 0;
+};
+
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  // Takes ownership of the packet. Returns false if the packet was dropped.
+  virtual bool Enqueue(Packet pkt, SimTime now) = 0;
+  // Next packet to transmit, or nullopt if empty. AQMs may drop internally
+  // while searching for a survivor.
+  virtual std::optional<Packet> Dequeue(SimTime now) = 0;
+
+  virtual size_t packet_count() const = 0;
+  virtual int64_t byte_count() const = 0;
+  virtual std::string name() const = 0;
+
+  const QdiscStats& stats() const { return stats_; }
+
+  // When enabled, AQM "drop" decisions on ECN-capable packets become CE marks.
+  void set_ecn_enabled(bool enabled) { ecn_enabled_ = enabled; }
+  bool ecn_enabled() const { return ecn_enabled_; }
+
+ protected:
+  void CountEnqueue(const Packet& pkt) {
+    ++stats_.enqueued_packets;
+    stats_.enqueued_bytes += pkt.size_bytes;
+  }
+  void CountDequeue(const Packet& pkt) {
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += pkt.size_bytes;
+  }
+  void CountDrop() { ++stats_.dropped_packets; }
+  void CountMark() { ++stats_.ecn_marked_packets; }
+
+  // AQM helper: marks the packet if ECN applies (returns true = keep packet),
+  // otherwise reports that the caller should drop it (returns false).
+  bool MarkInsteadOfDrop(Packet& pkt) {
+    if (ecn_enabled_ && pkt.ecn_capable && !pkt.ecn_marked) {
+      pkt.ecn_marked = true;
+      CountMark();
+      return true;
+    }
+    return false;
+  }
+
+  QdiscStats stats_;
+  bool ecn_enabled_ = false;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_QDISC_H_

@@ -1,0 +1,83 @@
+#include "src/netsim/red.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace element {
+
+Red::Red(const RedParams& params, Rng rng) : params_(params), rng_(std::move(rng)) {}
+
+double Red::CurrentDropProbability() const {
+  if (avg_queue_ < params_.min_threshold_packets) {
+    return 0.0;
+  }
+  if (avg_queue_ >= params_.max_threshold_packets) {
+    return 1.0;
+  }
+  double base = params_.max_drop_probability * (avg_queue_ - params_.min_threshold_packets) /
+                (params_.max_threshold_packets - params_.min_threshold_packets);
+  // Gentle uniformization: spread drops out over the inter-drop interval.
+  double denom = 1.0 - static_cast<double>(std::max(count_since_drop_, 0)) * base;
+  if (denom <= base) {
+    return 1.0;
+  }
+  return base / denom;
+}
+
+bool Red::Enqueue(Packet pkt, SimTime now) {
+  // EWMA of the instantaneous queue; an idle period decays it toward zero
+  // (approximation of the m-packet idle correction).
+  if (idle_) {
+    TimeDelta idle_time = now - idle_since_;
+    double decay_steps = idle_time.ToSeconds() / 0.001;  // ~1 small pkt / ms
+    avg_queue_ *= std::pow(1.0 - params_.queue_weight, std::max(0.0, decay_steps));
+    idle_ = false;
+  }
+  avg_queue_ = (1.0 - params_.queue_weight) * avg_queue_ +
+               params_.queue_weight * static_cast<double>(queue_.size());
+
+  if (queue_.size() >= params_.limit_packets) {
+    CountDrop();
+    count_since_drop_ = 0;
+    return false;
+  }
+  double p = CurrentDropProbability();
+  if (p > 0.0 && rng_.Bernoulli(p)) {
+    if (!MarkInsteadOfDrop(pkt)) {
+      CountDrop();
+      count_since_drop_ = 0;
+      return false;
+    }
+    count_since_drop_ = 0;
+  } else if (count_since_drop_ >= 0) {
+    ++count_since_drop_;
+  }
+
+  pkt.enqueued = now;
+  bytes_ += pkt.size_bytes;
+  CountEnqueue(pkt);
+  queue_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> Red::Dequeue(SimTime now) {
+  if (queue_.empty()) {
+    if (!idle_) {
+      idle_ = true;
+      idle_since_ = now;
+    }
+    return std::nullopt;
+  }
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  if (queue_.empty()) {
+    idle_ = true;
+    idle_since_ = now;
+  }
+  CountDequeue(pkt);
+  return pkt;
+}
+
+}  // namespace element

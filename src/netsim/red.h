@@ -1,0 +1,53 @@
+// Random Early Detection (Floyd & Jacobson 1993) — the classic AQM that
+// CoDel/PIE position themselves against ("is CoDel really achieving what RED
+// cannot?", the paper's reference [41]). Included as an additional baseline
+// for the qdisc comparison and ablation benches.
+
+#ifndef ELEMENT_SRC_NETSIM_RED_H_
+#define ELEMENT_SRC_NETSIM_RED_H_
+
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/netsim/qdisc.h"
+
+namespace element {
+
+struct RedParams {
+  double min_threshold_packets = 20;
+  double max_threshold_packets = 60;
+  double max_drop_probability = 0.1;  // max_p at max_threshold
+  double queue_weight = 0.002;        // EWMA weight for the average queue
+  size_t limit_packets = 1000;
+};
+
+class Red : public Qdisc {
+ public:
+  Red(const RedParams& params, Rng rng);
+  explicit Red(Rng rng) : Red(RedParams(), std::move(rng)) {}
+
+  bool Enqueue(Packet pkt, SimTime now) override;
+  std::optional<Packet> Dequeue(SimTime now) override;
+  size_t packet_count() const override { return queue_.size(); }
+  int64_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "red"; }
+
+  double average_queue() const { return avg_queue_; }
+
+ private:
+  double CurrentDropProbability() const;
+
+  RedParams params_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  int64_t bytes_ = 0;
+
+  double avg_queue_ = 0.0;
+  int count_since_drop_ = -1;  // packets since the last early drop
+  SimTime idle_since_;
+  bool idle_ = true;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_NETSIM_RED_H_

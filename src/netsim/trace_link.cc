@@ -1,0 +1,97 @@
+#include "src/netsim/trace_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace element {
+
+TraceLinkModel::TraceLinkModel(std::vector<TracePoint> trace, TimeDelta prop_delay,
+                               double loss_prob)
+    : trace_(std::move(trace)), prop_delay_(prop_delay), loss_prob_(loss_prob) {
+  cycle_ = trace_.empty() ? TimeDelta::Zero() : trace_.back().at - SimTime::Zero();
+}
+
+DataRate TraceLinkModel::RateAt(SimTime now) {
+  if (trace_.empty()) {
+    return DataRate::Zero();
+  }
+  int64_t pos_ns = now.nanos();
+  if (cycle_ > TimeDelta::Zero()) {
+    pos_ns %= cycle_.nanos();
+  }
+  SimTime pos = SimTime::FromNanos(pos_ns);
+  // Last point at or before `pos` (points are time-ordered).
+  auto it = std::upper_bound(trace_.begin(), trace_.end(), pos,
+                             [](SimTime t, const TracePoint& p) { return t < p.at; });
+  if (it == trace_.begin()) {
+    return trace_.front().rate;
+  }
+  return (it - 1)->rate;
+}
+
+bool TraceLinkModel::DropOnWire(Rng& rng, SimTime /*now*/) {
+  return loss_prob_ > 0.0 && rng.Bernoulli(loss_prob_);
+}
+
+std::vector<TracePoint> TraceLinkModel::ParseCsv(const std::string& csv_text) {
+  std::vector<TracePoint> out;
+  std::istringstream in(csv_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return {};
+    }
+    char* end1 = nullptr;
+    char* end2 = nullptr;
+    std::string t_str = line.substr(0, comma);
+    std::string r_str = line.substr(comma + 1);
+    double t = std::strtod(t_str.c_str(), &end1);
+    double mbps = std::strtod(r_str.c_str(), &end2);
+    if (end1 == t_str.c_str() || end2 == r_str.c_str()) {
+      // Tolerate a single header line; anything else is malformed.
+      if (out.empty() && t_str.find_first_of("0123456789") == std::string::npos) {
+        continue;
+      }
+      return {};
+    }
+    if (!out.empty() && t * 1e9 < static_cast<double>(out.back().at.nanos())) {
+      return {};  // not time-ordered
+    }
+    out.push_back({SimTime::FromNanos(static_cast<int64_t>(t * 1e9)), DataRate::Mbps(mbps)});
+  }
+  return out;
+}
+
+std::vector<TracePoint> TraceLinkModel::LoadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::vector<TracePoint> TraceLinkModel::SynthesizeCellular(Rng* rng, DataRate mean_rate,
+                                                           TimeDelta duration, TimeDelta step,
+                                                           double volatility) {
+  std::vector<TracePoint> out;
+  double log_mean = std::log(mean_rate.bps());
+  double x = log_mean;
+  for (SimTime t = SimTime::Zero(); t < SimTime::Zero() + duration; t += step) {
+    // Ornstein-Uhlenbeck-ish: pull toward the mean, diffuse, clamp 4x band.
+    x += 0.1 * (log_mean - x) + rng->Normal(0.0, volatility);
+    x = std::clamp(x, log_mean - 1.4, log_mean + 1.4);
+    out.push_back({t, DataRate::BitsPerSecond(std::exp(x))});
+  }
+  return out;
+}
+
+}  // namespace element

@@ -1,0 +1,122 @@
+#include "src/tcpsim/cc_cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace element {
+
+void CubicCc::OnConnectionStart(SimTime /*now*/, uint32_t mss) { mss_ = mss; }
+
+void CubicCc::ResetEpoch() {
+  epoch_started_ = false;
+  w_est_acked_segments_ = 0.0;
+}
+
+void CubicCc::OnAck(const AckSample& sample) {
+  if (sample.in_recovery) {
+    return;
+  }
+  double acked_segments = static_cast<double>(sample.acked_bytes) / mss_;
+
+  if (cwnd_ < ssthresh_) {
+    HyStartUpdate(sample);
+    cwnd_ += acked_segments;
+    return;
+  }
+
+  if (!epoch_started_) {
+    epoch_started_ = true;
+    epoch_start_ = sample.now;
+    if (cwnd_ < w_max_) {
+      k_ = std::cbrt((w_max_ - cwnd_) / kC);
+      origin_point_ = w_max_;
+    } else {
+      k_ = 0.0;
+      origin_point_ = cwnd_;
+    }
+    w_est_acked_segments_ = 0.0;
+  }
+
+  double rtt_s = std::max(sample.srtt.ToSeconds(), 0.0001);
+  double t = (sample.now - epoch_start_).ToSeconds() + rtt_s;
+  double delta = t - k_;
+  double w_cubic = origin_point_ + kC * delta * delta * delta;
+
+  // TCP-friendly region (RFC 8312 §4.2): emulate AIMD with the same average
+  // rate as standard TCP after a beta decrease.
+  w_est_acked_segments_ += acked_segments;
+  double w_est = w_max_ * kBeta +
+                 (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (w_est_acked_segments_ / cwnd_);
+  double target = std::max(w_cubic, w_est);
+
+  if (target > cwnd_) {
+    // Per-ACK growth spread so that cwnd reaches `target` in one RTT.
+    cwnd_ += (target - cwnd_) / cwnd_ * acked_segments;
+  } else {
+    cwnd_ += acked_segments / (100.0 * cwnd_);  // minimal growth to probe
+  }
+}
+
+void CubicCc::HyStartUpdate(const AckSample& sample) {
+  if (!hystart_enabled_ || sample.rtt <= TimeDelta::Zero()) {
+    return;
+  }
+  if (!round_active_) {
+    round_active_ = true;
+    round_start_ = sample.now;
+    curr_round_min_rtt_ = sample.rtt;
+    return;
+  }
+  curr_round_min_rtt_ = std::min(curr_round_min_rtt_, sample.rtt);
+  TimeDelta round_len = sample.srtt.IsZero() ? sample.rtt : sample.srtt;
+  if (sample.now - round_start_ < round_len) {
+    return;
+  }
+  // Round boundary: compare this round's min RTT against the previous one.
+  if (!last_round_min_rtt_.IsInfinite() && !curr_round_min_rtt_.IsInfinite()) {
+    TimeDelta eta = last_round_min_rtt_ * 0.125;
+    eta = std::clamp(eta, TimeDelta::FromMillis(4), TimeDelta::FromMillis(16));
+    if (curr_round_min_rtt_ >= last_round_min_rtt_ + eta && cwnd_ >= 16.0) {
+      ssthresh_ = cwnd_;  // delay increase: exit slow start smoothly
+    }
+  }
+  last_round_min_rtt_ = curr_round_min_rtt_;
+  curr_round_min_rtt_ = TimeDelta::Infinite();
+  round_start_ = sample.now;
+}
+
+void CubicCc::OnApplicationIdle(SimTime /*now*/, TimeDelta idle_time, TimeDelta rto) {
+  if (rto <= TimeDelta::Zero()) {
+    return;
+  }
+  double periods = idle_time / rto;
+  bool decayed = false;
+  while (periods >= 1.0 && cwnd_ > 10.0) {
+    cwnd_ = std::max(cwnd_ / 2.0, 10.0);
+    periods -= 1.0;
+    decayed = true;
+  }
+  if (decayed) {
+    ResetEpoch();  // the cubic clock restarts from the decayed window
+  }
+}
+
+void CubicCc::OnLoss(SimTime /*now*/, uint64_t /*bytes_in_flight*/, uint32_t /*mss*/) {
+  if (kFastConvergence && cwnd_ < w_max_) {
+    w_max_ = cwnd_ * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  cwnd_ = std::max(cwnd_ * kBeta, 2.0);
+  ssthresh_ = cwnd_;
+  ResetEpoch();
+}
+
+void CubicCc::OnRetransmissionTimeout(SimTime /*now*/) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * kBeta, 2.0);
+  cwnd_ = 1.0;
+  ResetEpoch();
+}
+
+}  // namespace element

@@ -1,0 +1,62 @@
+#include "src/tcpsim/cc_ledbat.h"
+
+#include <algorithm>
+
+namespace element {
+
+void LedbatCc::OnConnectionStart(SimTime now, uint32_t mss) {
+  mss_ = mss;
+  current_minute_start_ = now;
+}
+
+TimeDelta LedbatCc::base_delay() const {
+  TimeDelta best = TimeDelta::Infinite();
+  for (TimeDelta d : base_history_) {
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+void LedbatCc::UpdateBaseDelay(TimeDelta rtt, SimTime now) {
+  if (!minute_started_ || now - current_minute_start_ > TimeDelta::FromSecondsInt(60)) {
+    base_history_.push_back(rtt);
+    while (base_history_.size() > kBaseHistoryMinutes) {
+      base_history_.pop_front();
+    }
+    current_minute_start_ = now;
+    minute_started_ = true;
+  } else if (!base_history_.empty()) {
+    base_history_.back() = std::min(base_history_.back(), rtt);
+  }
+}
+
+void LedbatCc::OnAck(const AckSample& sample) {
+  if (sample.in_recovery || sample.rtt <= TimeDelta::Zero()) {
+    return;
+  }
+  UpdateBaseDelay(sample.rtt, sample.now);
+  TimeDelta base = base_delay();
+  if (base.IsInfinite()) {
+    return;
+  }
+  // RFC 6817 linear controller: off-target drives the window up or down.
+  double queuing_delay_s = (sample.rtt - base).ToSeconds();
+  double off_target = (kTargetDelayS - queuing_delay_s) / kTargetDelayS;
+  double acked_segments = static_cast<double>(sample.acked_bytes) / mss_;
+  cwnd_ += kGain * off_target * acked_segments / cwnd_;
+  // Clamp: never below 2, never growing faster than slow start would.
+  cwnd_ = std::max(cwnd_, 2.0);
+}
+
+void LedbatCc::OnLoss(SimTime /*now*/, uint64_t /*bytes_in_flight*/, uint32_t /*mss*/) {
+  // RFC 6817: at most one halving per RTT; approximated as a plain halving.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void LedbatCc::OnRetransmissionTimeout(SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 2.0;
+}
+
+}  // namespace element

@@ -1,0 +1,43 @@
+#include "src/tcpsim/cc_reno.h"
+
+#include <algorithm>
+
+namespace element {
+
+void RenoCc::OnConnectionStart(SimTime /*now*/, uint32_t mss) { mss_ = mss; }
+
+void RenoCc::OnAck(const AckSample& sample) {
+  if (sample.in_recovery) {
+    return;
+  }
+  double acked_segments = static_cast<double>(sample.acked_bytes) / mss_;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_segments;  // slow start
+  } else {
+    cwnd_ += acked_segments / cwnd_;  // congestion avoidance: ~1 segment/RTT
+  }
+}
+
+void RenoCc::OnLoss(SimTime /*now*/, uint64_t /*bytes_in_flight*/, uint32_t /*mss*/) {
+  ssthresh_ = static_cast<uint32_t>(std::max(cwnd_ / 2.0, 2.0));
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::OnApplicationIdle(SimTime /*now*/, TimeDelta idle_time, TimeDelta rto) {
+  // Halve cwnd per RTO of idleness, floored at the initial window.
+  if (rto <= TimeDelta::Zero()) {
+    return;
+  }
+  double periods = idle_time / rto;
+  while (periods >= 1.0 && cwnd_ > 10.0) {
+    cwnd_ = std::max(cwnd_ / 2.0, 10.0);
+    periods -= 1.0;
+  }
+}
+
+void RenoCc::OnRetransmissionTimeout(SimTime /*now*/) {
+  ssthresh_ = static_cast<uint32_t>(std::max(cwnd_ / 2.0, 2.0));
+  cwnd_ = 1.0;
+}
+
+}  // namespace element

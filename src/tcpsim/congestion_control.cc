@@ -1,0 +1,35 @@
+#include "src/tcpsim/congestion_control.h"
+
+#include <stdexcept>
+
+#include "src/tcpsim/cc_bbr.h"
+#include "src/tcpsim/cc_cubic.h"
+#include "src/tcpsim/cc_ledbat.h"
+#include "src/tcpsim/cc_reno.h"
+#include "src/tcpsim/cc_vegas.h"
+
+namespace element {
+
+std::unique_ptr<CongestionControl> MakeCongestionControl(const std::string& name) {
+  if (name == "reno") {
+    return std::make_unique<RenoCc>();
+  }
+  if (name == "cubic") {
+    return std::make_unique<CubicCc>();
+  }
+  if (name == "cubic-nohystart") {
+    return std::make_unique<CubicCc>(/*hystart=*/false);
+  }
+  if (name == "vegas") {
+    return std::make_unique<VegasCc>();
+  }
+  if (name == "ledbat") {
+    return std::make_unique<LedbatCc>();
+  }
+  if (name == "bbr") {
+    return std::make_unique<BbrCc>();
+  }
+  throw std::invalid_argument("unknown congestion control: " + name);
+}
+
+}  // namespace element

@@ -1,0 +1,49 @@
+// Tracepoint hooks into the simulated TCP stack — the simulation analogue of
+// the perf probes the paper adds at write()/tcp_transmit_skb()/
+// tcp_v4_do_rcv()/read() to obtain ground-truth delays (Section 4.3).
+
+#ifndef ELEMENT_SRC_TCPSIM_STACK_OBSERVER_H_
+#define ELEMENT_SRC_TCPSIM_STACK_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace element {
+
+// Byte ranges are half-open: [begin, end).
+class StackObserver {
+ public:
+  virtual ~StackObserver() = default;
+
+  // Sender side: bytes accepted into the TCP send buffer by a socket write.
+  virtual void OnAppWrite(uint64_t begin, uint64_t end, SimTime t) {
+    (void)begin;
+    (void)end;
+    (void)t;
+  }
+  // Sender side: bytes handed to the lower layers (tcp_transmit_skb).
+  virtual void OnTcpTransmit(uint64_t begin, uint64_t end, SimTime t, bool retransmit) {
+    (void)begin;
+    (void)end;
+    (void)t;
+    (void)retransmit;
+  }
+  // Receiver side: data segment arrived at the TCP layer (tcp_v4_do_rcv).
+  virtual void OnTcpRxSegment(uint64_t begin, uint64_t end, SimTime t, bool in_order) {
+    (void)begin;
+    (void)end;
+    (void)t;
+    (void)in_order;
+  }
+  // Receiver side: bytes consumed from the receive buffer by a socket read.
+  virtual void OnAppRead(uint64_t begin, uint64_t end, SimTime t) {
+    (void)begin;
+    (void)end;
+    (void)t;
+  }
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TCPSIM_STACK_OBSERVER_H_

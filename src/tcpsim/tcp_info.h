@@ -1,0 +1,38 @@
+// User-visible TCP statistics, mirroring the subset of Linux's `struct
+// tcp_info` (getsockopt TCP_INFO) that ELEMENT consumes (Section 4 of the
+// paper) plus a few fields used by tests and benches.
+
+#ifndef ELEMENT_SRC_TCPSIM_TCP_INFO_H_
+#define ELEMENT_SRC_TCPSIM_TCP_INFO_H_
+
+#include <cstdint>
+
+namespace element {
+
+struct TcpInfoData {
+  // Sender-side statistics (Algorithm 1 inputs).
+  uint64_t tcpi_bytes_acked = 0;  // cumulative bytes ACKed by the peer
+  uint32_t tcpi_unacked = 0;      // segments sent but not yet ACKed (packets_out)
+  uint32_t tcpi_snd_mss = 0;
+  uint32_t tcpi_snd_cwnd = 0;      // congestion window, in segments
+  uint32_t tcpi_snd_ssthresh = 0;  // slow-start threshold, in segments
+  uint64_t tcpi_segs_out = 0;
+  uint32_t tcpi_total_retrans = 0;
+  uint32_t tcpi_notsent_bytes = 0;  // written to the socket but not yet sent
+
+  // Receiver-side statistics (Algorithm 2 inputs).
+  uint64_t tcpi_segs_in = 0;
+  uint32_t tcpi_rcv_mss = 0;
+  uint64_t tcpi_bytes_received = 0;
+
+  // Path statistics.
+  uint32_t tcpi_rtt_us = 0;  // smoothed RTT, microseconds
+  uint32_t tcpi_rttvar_us = 0;
+  uint32_t tcpi_min_rtt_us = 0;
+  uint64_t tcpi_delivery_rate_bps = 0;
+  uint64_t tcpi_pacing_rate_bps = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TCPSIM_TCP_INFO_H_

@@ -1,0 +1,39 @@
+#include "src/tcpsim/tcp_listener.h"
+
+#include <utility>
+
+#include "src/tcpsim/tcp_segment.h"
+
+namespace element {
+
+TcpListener::TcpListener(EventLoop* loop, Rng rng, TcpSocket::Config config, PacketSink* tx,
+                         Demux* rx_demux)
+    : loop_(loop),
+      rng_(std::move(rng)),
+      config_(config),
+      tx_(tx),
+      rx_demux_(rx_demux) {
+  rx_demux_->SetFallback(this);
+}
+
+TcpListener::~TcpListener() { rx_demux_->SetFallback(nullptr); }
+
+void TcpListener::Deliver(Packet pkt) {
+  const auto& seg = *static_cast<const TcpSegmentPayload*>(pkt.payload.get());
+  if (!seg.syn || seg.ack) {
+    return;  // stray non-SYN for an unknown flow: drop (no RST modeling)
+  }
+  // Accept: a fresh passive socket claims this flow id (its constructor
+  // registers it with the demux, so follow-up segments route directly).
+  auto socket =
+      std::make_unique<TcpSocket>(loop_, rng_.Fork(), config_, pkt.flow_id, tx_, rx_demux_);
+  TcpSocket* raw = socket.get();
+  raw->Listen();
+  connections_.push_back(std::move(socket));
+  raw->Deliver(std::move(pkt));  // processes the SYN, emits SYN-ACK
+  if (on_accept_) {
+    on_accept_(raw);
+  }
+}
+
+}  // namespace element

@@ -1,0 +1,53 @@
+// Passive-open listener with BSD accept() semantics: registered as the
+// fallback sink of a demux, it creates a new server-side TcpSocket for every
+// incoming SYN of an unknown flow and hands it to the accept callback. This
+// lets server applications (HTTP-ish responders, iperf servers) take any
+// number of connections without pre-wiring each flow.
+
+#ifndef ELEMENT_SRC_TCPSIM_TCP_LISTENER_H_
+#define ELEMENT_SRC_TCPSIM_TCP_LISTENER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/evloop/event_loop.h"
+#include "src/netsim/pipe.h"
+#include "src/tcpsim/tcp_socket.h"
+
+namespace element {
+
+class TcpListener : public PacketSink {
+ public:
+  using AcceptCallback = std::function<void(TcpSocket*)>;
+
+  // `rx_demux` is the demux on the listener's side of the path; `tx` is the
+  // pipe its sockets reply into. The listener installs itself as the demux
+  // fallback.
+  TcpListener(EventLoop* loop, Rng rng, TcpSocket::Config config, PacketSink* tx,
+              Demux* rx_demux);
+  ~TcpListener() override;
+
+  void SetAcceptCallback(AcceptCallback cb) { on_accept_ = std::move(cb); }
+
+  // All sockets accepted so far (owned by the listener).
+  const std::vector<std::unique_ptr<TcpSocket>>& connections() const { return connections_; }
+  size_t accepted() const { return connections_.size(); }
+
+  // PacketSink: receives packets for flows no socket has claimed.
+  void Deliver(Packet pkt) override;
+
+ private:
+  EventLoop* loop_;
+  Rng rng_;
+  TcpSocket::Config config_;
+  PacketSink* tx_;
+  Demux* rx_demux_;
+  AcceptCallback on_accept_;
+  std::vector<std::unique_ptr<TcpSocket>> connections_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TCPSIM_TCP_LISTENER_H_

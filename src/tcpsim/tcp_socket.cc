@@ -1,0 +1,869 @@
+#include "src/tcpsim/tcp_socket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace element {
+namespace {
+
+constexpr uint32_t kSynWireBytes = 60;  // header + MSS/wscale/SACK/TS options
+constexpr TimeDelta kMaxRto = TimeDelta::FromSecondsInt(60);
+constexpr TimeDelta kSynRetry = TimeDelta::FromSecondsInt(1);
+
+const TcpSegmentPayload& AsTcp(const Packet& pkt) {
+  return *static_cast<const TcpSegmentPayload*>(pkt.payload.get());
+}
+
+}  // namespace
+
+TcpSocket::TcpSocket(EventLoop* loop, Rng rng, Config config, uint64_t flow_id, PacketSink* tx,
+                     Demux* rx_demux)
+    : loop_(loop),
+      rng_(std::move(rng)),
+      config_(config),
+      flow_id_(flow_id),
+      tx_(tx),
+      rx_demux_(rx_demux),
+      sndbuf_(config.sndbuf_bytes),
+      sndbuf_autotune_(config.sndbuf_autotune),
+      rto_(config.initial_rto) {
+  cc_ = MakeCongestionControl(config_.congestion_control);
+  rx_demux_->Register(flow_id_, this);
+}
+
+TcpSocket::~TcpSocket() {
+  *alive_ = false;
+  rx_demux_->Unregister(flow_id_);
+  CancelRto();
+  if (delayed_ack_event_ != 0) {
+    loop_->Cancel(delayed_ack_event_);
+  }
+  if (syn_retry_event_ != 0) {
+    loop_->Cancel(syn_retry_event_);
+  }
+  if (fin_retry_event_ != 0) {
+    loop_->Cancel(fin_retry_event_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle
+// ---------------------------------------------------------------------------
+
+void TcpSocket::Connect() {
+  assert(state_ == State::kClosed);
+  state_ = State::kSynSent;
+  established_time_ = loop_->now();  // records SYN time until established
+  TcpSegmentPayload syn;
+  syn.syn = true;
+  syn.receive_window = AdvertisedWindow();
+  EmitSegment(syn, 0);
+  auto alive = alive_;
+  syn_retry_event_ = loop_->ScheduleAfter(kSynRetry, [this, alive] {
+    if (!*alive || state_ != State::kSynSent) {
+      return;
+    }
+    syn_retry_event_ = 0;
+    state_ = State::kClosed;
+    Connect();
+  });
+}
+
+void TcpSocket::Listen() {
+  assert(state_ == State::kClosed);
+  state_ = State::kListen;
+}
+
+void TcpSocket::BecomeEstablished() {
+  state_ = State::kEstablished;
+  TimeDelta handshake_rtt = loop_->now() - established_time_;
+  established_time_ = loop_->now();
+  delivered_time_ = loop_->now();
+  cc_->OnConnectionStart(loop_->now(), config_.mss);
+  if (handshake_rtt > TimeDelta::Zero()) {
+    UpdateRtt(handshake_rtt);
+  }
+  if (established_cb_) {
+    established_cb_();
+  }
+  TrySendData();
+}
+
+// ---------------------------------------------------------------------------
+// Application I/O
+// ---------------------------------------------------------------------------
+
+size_t TcpSocket::SndBufFree() const {
+  size_t used = SndBufUsed();
+  return used >= sndbuf_ ? 0 : sndbuf_ - used;
+}
+
+size_t TcpSocket::Write(size_t n) {
+  if (close_requested_) {
+    return 0;  // write side is shut
+  }
+  size_t accepted = std::min(n, SndBufFree());
+  if (accepted > 0) {
+    if (observer_ != nullptr) {
+      observer_->OnAppWrite(write_seq_, write_seq_ + accepted, loop_->now());
+    }
+    write_seq_ += accepted;
+    if (established()) {
+      TrySendData();
+    }
+  }
+  if (accepted < n) {
+    writable_blocked_ = true;
+  }
+  return accepted;
+}
+
+size_t TcpSocket::Read(size_t max) {
+  size_t n = std::min<uint64_t>(max, ReadableBytes());
+  if (n > 0) {
+    if (observer_ != nullptr) {
+      observer_->OnAppRead(read_seq_, read_seq_ + n, loop_->now());
+    }
+    read_seq_ += n;
+  }
+  return n;
+}
+
+void TcpSocket::SetSndBuf(size_t bytes) {
+  // Like SO_SNDBUF: pins the size and turns off kernel auto-tuning.
+  sndbuf_ = bytes;
+  sndbuf_autotune_ = false;
+  NotifyWritableIfNeeded();
+}
+
+// ---------------------------------------------------------------------------
+// Sender half
+// ---------------------------------------------------------------------------
+
+uint64_t TcpSocket::CwndBytes() const {
+  double segments = std::max(cc_->CwndSegments(), 2.0);
+  return static_cast<uint64_t>(segments * config_.mss);
+}
+
+uint64_t TcpSocket::EffectiveInFlight() const {
+  // SACK scoreboard pipe: bytes believed to be in the network.
+  uint64_t total = snd_nxt_ - snd_una_;
+  uint64_t gone = sacked_bytes_ + lost_bytes_;
+  return gone >= total ? 0 : total - gone;
+}
+
+bool TcpSocket::RetransmitOneLost() {
+  if (lost_bytes_ == 0) {
+    return false;
+  }
+  for (auto& [seq, meta] : outstanding_) {
+    if (seq >= highest_sacked_) {
+      break;
+    }
+    if (meta.lost) {
+      SendDataSegment(seq, meta.len, /*retransmit=*/true);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TcpSocket::TrySendData() {
+  if (!established()) {
+    return;
+  }
+  // RFC 2861: when the connection restarts after an idle period (nothing in
+  // flight, nothing sent for >= RTO), let the CC validate its window.
+  if (have_send_activity_ && snd_una_ == snd_nxt_ && write_seq_ > snd_nxt_) {
+    TimeDelta idle = loop_->now() - last_send_activity_;
+    if (idle >= rto_) {
+      cc_->OnApplicationIdle(loop_->now(), idle, rto_);
+    }
+  }
+  std::optional<DataRate> pacing = cc_->PacingRate();
+  while (true) {
+    uint64_t window = std::min<uint64_t>(CwndBytes(), peer_rwnd_);
+    if (EffectiveInFlight() + config_.mss > window) {
+      app_limited_now_ = false;
+      break;
+    }
+    if (pacing.has_value() && !pacing->IsZero() && loop_->now() < next_send_time_) {
+      if (!pacing_wakeup_armed_) {
+        pacing_wakeup_armed_ = true;
+        auto alive = alive_;
+        loop_->ScheduleAt(next_send_time_, [this, alive] {
+          if (!*alive) {
+            return;
+          }
+          pacing_wakeup_armed_ = false;
+          TrySendData();
+        });
+      }
+      break;
+    }
+
+    uint32_t sent_len = 0;
+    if (RetransmitOneLost()) {
+      sent_len = config_.mss;  // pacing accounting only
+    } else {
+      // After a FIN, snd_nxt_ sits one past write_seq_ (the phantom byte).
+      uint64_t avail = write_seq_ > snd_nxt_ ? write_seq_ - snd_nxt_ : 0;
+      if (avail == 0) {
+        app_limited_now_ = true;
+        break;
+      }
+      if (config_.nagle && avail < config_.mss && snd_nxt_ > snd_una_) {
+        // Nagle: park the sub-MSS tail until outstanding data is ACKed (or
+        // the application writes enough to fill a segment).
+        app_limited_now_ = true;
+        break;
+      }
+      uint32_t len = static_cast<uint32_t>(std::min<uint64_t>(config_.mss, avail));
+      SendDataSegment(snd_nxt_, len, /*retransmit=*/false);
+      snd_nxt_ += len;
+      sent_len = len;
+    }
+    if (pacing.has_value() && !pacing->IsZero()) {
+      SimTime base = std::max(next_send_time_, loop_->now());
+      next_send_time_ = base + pacing->TransmitTime(sent_len + kIpTcpHeaderBytes);
+    }
+  }
+  MaybeSendFin();
+}
+
+void TcpSocket::SendDataSegment(uint64_t seq, uint32_t len, bool retransmit) {
+  if (!retransmit) {
+    SegMeta meta;
+    meta.len = len;
+    meta.first_tx = loop_->now();
+    meta.last_tx = loop_->now();
+    meta.delivered_at_send = delivered_bytes_;
+    meta.delivered_time_at_send = delivered_time_;
+    meta.app_limited = app_limited_now_;
+    outstanding_[seq] = meta;
+  } else {
+    auto it = outstanding_.find(seq);
+    if (it != outstanding_.end()) {
+      SegMeta& meta = it->second;
+      meta.retransmitted = true;
+      meta.last_tx = loop_->now();
+      if (meta.lost) {
+        meta.lost = false;  // back in the pipe
+        lost_bytes_ -= meta.len;
+      }
+      len = meta.len;
+    } else {
+      len = static_cast<uint32_t>(std::min<uint64_t>(config_.mss, snd_nxt_ - seq));
+    }
+    if (len == 0) {
+      return;
+    }
+    ++total_retrans_;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnTcpTransmit(seq, seq + len, loop_->now(), retransmit);
+  }
+  cc_->OnPacketSent(loop_->now(), EffectiveInFlight());
+
+  TcpSegmentPayload seg;
+  seg.seq = seq;
+  seg.payload_bytes = len;
+  seg.ack = true;
+  seg.ack_seq = rcv_nxt_;
+  seg.receive_window = AdvertisedWindow();
+  seg.retransmit = retransmit;
+  if (cwr_pending_) {
+    seg.cwr = true;
+    cwr_pending_ = false;
+  }
+  last_send_activity_ = loop_->now();
+  have_send_activity_ = true;
+  EmitSegment(seg, len);
+  // Arm on first transmission; restart on retransmissions so the timer
+  // tracks the newest repair attempt (tcp_rearm_rto behaviour) instead of
+  // racing with an in-progress SACK recovery.
+  if (retransmit || rto_event_ == 0) {
+    ArmRto();
+  }
+}
+
+void TcpSocket::UpdateRtt(TimeDelta sample) {
+  if (sample <= TimeDelta::Zero()) {
+    return;
+  }
+  min_rtt_ = std::min(min_rtt_, sample);
+  if (srtt_.IsZero()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    TimeDelta err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+    rttvar_ = rttvar_ * 0.75 + err * 0.25;
+    srtt_ = srtt_ * 0.875 + sample * 0.125;
+  }
+  rto_ = std::max(config_.min_rto, srtt_ + rttvar_ * 4.0);
+  rto_ = std::min(rto_, kMaxRto);
+}
+
+void TcpSocket::ReactToEcnEcho() {
+  TimeDelta spacing = srtt_.IsZero() ? TimeDelta::FromMillis(100) : srtt_;
+  if (last_ecn_reaction_ + spacing > loop_->now() && last_ecn_reaction_ > SimTime::Zero()) {
+    return;
+  }
+  last_ecn_reaction_ = loop_->now();
+  cwr_pending_ = true;
+  cc_->OnLoss(loop_->now(), EffectiveInFlight(), config_.mss);
+}
+
+void TcpSocket::Close() {
+  if (close_requested_) {
+    return;
+  }
+  close_requested_ = true;
+  MaybeSendFin();
+}
+
+void TcpSocket::MaybeSendFin() {
+  // The FIN goes out once every buffered byte has been transmitted.
+  if (!close_requested_ || fin_sent_ || !established() || snd_nxt_ < write_seq_) {
+    return;
+  }
+  fin_seq_ = write_seq_;
+  snd_nxt_ = fin_seq_ + 1;  // the FIN consumes one sequence number
+  fin_sent_ = true;
+  SendFinSegment();
+}
+
+void TcpSocket::SendFinSegment() {
+  TcpSegmentPayload fin;
+  fin.fin = true;
+  fin.seq = fin_seq_;
+  fin.ack = true;
+  fin.ack_seq = rcv_nxt_;
+  fin.receive_window = AdvertisedWindow();
+  EmitSegment(fin, 0);
+  // Retransmit until acknowledged, with the connection's current RTO.
+  if (fin_retry_event_ != 0) {
+    loop_->Cancel(fin_retry_event_);
+  }
+  auto alive = alive_;
+  fin_retry_event_ = loop_->ScheduleAfter(rto_, [this, alive] {
+    if (!*alive || fin_acked_) {
+      return;
+    }
+    fin_retry_event_ = 0;
+    SendFinSegment();
+  });
+}
+
+void TcpSocket::ProcessSackBlocks(const std::vector<SackBlock>& blocks,
+                                  TimeDelta* rtt_sample) {
+  for (const SackBlock& block : blocks) {
+    auto it = outstanding_.lower_bound(block.begin);
+    for (; it != outstanding_.end() && it->first + it->second.len <= block.end; ++it) {
+      SegMeta& meta = it->second;
+      if (meta.sacked) {
+        continue;
+      }
+      meta.sacked = true;
+      sacked_bytes_ += meta.len;
+      if (meta.lost) {
+        meta.lost = false;
+        lost_bytes_ -= meta.len;
+      }
+      delivered_bytes_ += meta.len;
+      delivered_time_ = loop_->now();
+      if (!meta.retransmitted) {
+        *rtt_sample = loop_->now() - meta.last_tx;
+      }
+    }
+    highest_sacked_ = std::max(highest_sacked_, block.end);
+  }
+}
+
+void TcpSocket::MarkLosses() {
+  if (highest_sacked_ <= snd_una_) {
+    return;
+  }
+  bool newly_lost = false;
+  uint64_t loss_edge =
+      highest_sacked_ > 3ull * config_.mss ? highest_sacked_ - 3ull * config_.mss : 0;
+  for (auto& [seq, meta] : outstanding_) {
+    if (seq + meta.len > loss_edge) {
+      break;
+    }
+    if (meta.sacked || meta.lost) {
+      continue;
+    }
+    // A retransmission is only re-declared lost once it has had a full RTT
+    // (plus variance headroom) to land and be acknowledged; a tighter guard
+    // produces spurious duplicate retransmissions.
+    TimeDelta retx_grace = srtt_ + std::max(rttvar_ * 4.0, srtt_ * 0.5);
+    if (meta.retransmitted && loop_->now() - meta.last_tx < retx_grace) {
+      continue;
+    }
+    meta.lost = true;
+    lost_bytes_ += meta.len;
+    newly_lost = true;
+  }
+  if (newly_lost && !in_recovery_) {
+    in_recovery_ = true;
+    recovery_end_ = snd_nxt_;
+    cc_->OnLoss(loop_->now(), EffectiveInFlight(), config_.mss);
+    MaybeAutotuneSndbuf();
+  }
+}
+
+void TcpSocket::OnAckSegment(const TcpSegmentPayload& seg) {
+  peer_rwnd_ = seg.receive_window;
+  if (seg.ece && config_.ecn) {
+    ReactToEcnEcho();
+  }
+
+  TimeDelta rtt_sample = TimeDelta::Zero();
+  DataRate rate_sample = DataRate::Zero();
+  bool sample_app_limited = false;
+  uint64_t sacked_before = sacked_bytes_;
+  ProcessSackBlocks(seg.sacks, &rtt_sample);
+  if (sacked_bytes_ != sacked_before && snd_una_ < snd_nxt_) {
+    ArmRto();  // forward progress via SACK also defers the timeout
+  }
+
+  uint64_t ack = std::min(seg.ack_seq, snd_nxt_);
+  uint64_t acked = 0;
+  if (ack > snd_una_) {
+    acked = ack - snd_una_;
+    auto it = outstanding_.begin();
+    while (it != outstanding_.end() && it->first + it->second.len <= ack) {
+      SegMeta& meta = it->second;
+      if (meta.sacked) {
+        sacked_bytes_ -= meta.len;
+      } else {
+        if (meta.lost) {
+          lost_bytes_ -= meta.len;  // arrived after all (spurious loss mark)
+        }
+        delivered_bytes_ += meta.len;
+        delivered_time_ = loop_->now();
+        if (!meta.retransmitted) {
+          rtt_sample = loop_->now() - meta.last_tx;
+          TimeDelta interval = loop_->now() - meta.delivered_time_at_send;
+          if (interval > TimeDelta::Zero()) {
+            uint64_t delivered_in_interval = delivered_bytes_ - meta.delivered_at_send;
+            rate_sample = RateOver(static_cast<int64_t>(delivered_in_interval), interval);
+            sample_app_limited = meta.app_limited;
+          }
+        }
+      }
+      it = outstanding_.erase(it);
+    }
+    snd_una_ = ack;
+    if (highest_sacked_ < snd_una_) {
+      highest_sacked_ = snd_una_;
+    }
+    if (fin_sent_ && !fin_acked_ && ack >= fin_seq_ + 1) {
+      fin_acked_ = true;
+      if (fin_retry_event_ != 0) {
+        loop_->Cancel(fin_retry_event_);
+        fin_retry_event_ = 0;
+      }
+    }
+  }
+
+  MarkLosses();
+
+  if (acked > 0) {
+    if (rtt_sample > TimeDelta::Zero()) {
+      UpdateRtt(rtt_sample);
+    }
+    if (!rate_sample.IsZero()) {
+      latest_rate_sample_ = rate_sample;
+    }
+    if (in_recovery_ && snd_una_ >= recovery_end_) {
+      in_recovery_ = false;
+    }
+
+    AckSample sample;
+    sample.now = loop_->now();
+    sample.acked_bytes = acked;
+    sample.bytes_in_flight = EffectiveInFlight();
+    sample.rtt = rtt_sample;
+    sample.srtt = srtt_;
+    sample.min_rtt = min_rtt_;
+    sample.delivered_bytes = delivered_bytes_;
+    sample.delivery_rate = rate_sample;
+    sample.app_limited = sample_app_limited;
+    sample.in_recovery = in_recovery_;
+    sample.mss = config_.mss;
+    cc_->OnAck(sample);
+
+    MaybeAutotuneSndbuf();
+    rto_backoff_ = 0;
+    if (snd_una_ == snd_nxt_) {
+      CancelRto();
+    } else {
+      ArmRto();
+    }
+    NotifyWritableIfNeeded();
+  }
+  TrySendData();
+}
+
+void TcpSocket::MaybeAutotuneSndbuf() {
+  if (!sndbuf_autotune_) {
+    return;
+  }
+  // Linux tcp_new_space keeps sk_sndbuf around twice the congestion window
+  // and never shrinks it — the ratchet that, combined with loss-based CC,
+  // produces the paper's sender-side bufferbloat.
+  uint64_t target = 2 * CwndBytes() + 16 * config_.mss;
+  if (target > sndbuf_) {
+    sndbuf_ = std::min<uint64_t>(target, config_.sndbuf_max_bytes);
+    NotifyWritableIfNeeded();
+  }
+}
+
+void TcpSocket::ArmRto() {
+  CancelRto();
+  TimeDelta effective = rto_;
+  for (int i = 0; i < rto_backoff_ && effective < kMaxRto; ++i) {
+    effective = std::min(effective * 2.0, kMaxRto);
+  }
+  auto alive = alive_;
+  rto_event_ = loop_->ScheduleAfter(effective, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    rto_event_ = 0;
+    OnRtoFire();
+  });
+}
+
+void TcpSocket::CancelRto() {
+  if (rto_event_ != 0) {
+    loop_->Cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpSocket::OnRtoFire() {
+  if (snd_una_ >= snd_nxt_) {
+    return;
+  }
+  cc_->OnRetransmissionTimeout(loop_->now());
+  in_recovery_ = false;
+  ++rto_backoff_;
+  // Mark every un-SACKed outstanding segment lost; the scoreboard-driven
+  // retransmission path resends them under the collapsed window. snd_nxt_ is
+  // never rewound, so late cumulative ACKs keep their meaning, and resends
+  // are tagged as retransmissions (Karn's rule holds for RTT samples).
+  for (auto& [seq, meta] : outstanding_) {
+    if (!meta.sacked && !meta.lost) {
+      meta.lost = true;
+      lost_bytes_ += meta.len;
+    }
+  }
+  // Allow the lowest lost segment through even if highest_sacked_ is behind.
+  highest_sacked_ = std::max(highest_sacked_, snd_nxt_);
+  ArmRto();
+  TrySendData();
+}
+
+void TcpSocket::NotifyWritableIfNeeded() {
+  if (!writable_blocked_ || SndBufFree() < config_.mss) {
+    return;
+  }
+  writable_blocked_ = false;
+  if (writable_cb_) {
+    auto alive = alive_;
+    loop_->ScheduleAfter(TimeDelta::Zero(), [this, alive] {
+      if (*alive && writable_cb_) {
+        writable_cb_();
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver half
+// ---------------------------------------------------------------------------
+
+uint64_t TcpSocket::AdvertisedWindow() const {
+  uint64_t occupancy = (rcv_nxt_ - read_seq_) + ooo_bytes_;
+  uint64_t window = occupancy >= config_.rcvbuf_bytes ? 0 : config_.rcvbuf_bytes - occupancy;
+  if (config_.drwa_rcv_window_moderation && rcv_rate_bytes_per_s_ > 0.0) {
+    uint64_t cap = static_cast<uint64_t>(rcv_rate_bytes_per_s_ *
+                                         config_.drwa_target_delay.ToSeconds());
+    cap = std::max<uint64_t>(cap, 4ull * config_.mss);  // never choke to zero
+    window = std::min(window, cap);
+  }
+  return window;
+}
+
+void TcpSocket::OnDataSegment(const Packet& pkt, const TcpSegmentPayload& seg) {
+  // Arrival-rate EWMA over 200 ms windows (feeds DRWA window moderation).
+  if (config_.drwa_rcv_window_moderation) {
+    rcv_rate_window_bytes_ += seg.payload_bytes;
+    TimeDelta window_len = loop_->now() - rcv_rate_window_start_;
+    if (window_len >= TimeDelta::FromMillis(200)) {
+      double inst = static_cast<double>(rcv_rate_window_bytes_) / window_len.ToSeconds();
+      rcv_rate_bytes_per_s_ =
+          rcv_rate_bytes_per_s_ <= 0.0 ? inst : 0.75 * rcv_rate_bytes_per_s_ + 0.25 * inst;
+      rcv_rate_window_bytes_ = 0;
+      rcv_rate_window_start_ = loop_->now();
+    }
+  }
+  if (pkt.ecn_marked) {
+    echo_ece_ = true;
+  }
+  if (seg.cwr) {
+    echo_ece_ = false;
+  }
+  uint64_t seq = seg.seq;
+  uint64_t end = seq + seg.payload_bytes;
+
+  if (end <= rcv_nxt_) {
+    SendAck();  // stale duplicate; re-ack
+    return;
+  }
+  if (seq <= rcv_nxt_) {
+    if (observer_ != nullptr) {
+      observer_->OnTcpRxSegment(rcv_nxt_, end, loop_->now(), /*in_order=*/true);
+    }
+    rcv_nxt_ = end;
+    bool filled_hole = false;
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && it->first <= rcv_nxt_) {
+      uint64_t ooo_end = it->first + it->second;
+      if (ooo_end > rcv_nxt_) {
+        rcv_nxt_ = ooo_end;
+      }
+      ooo_bytes_ -= it->second;
+      it = out_of_order_.erase(it);
+      filled_hole = true;
+    }
+    ++segs_since_ack_;
+    if (pending_peer_fin_ && peer_fin_seq_ <= rcv_nxt_) {
+      peer_fin_received_ = true;
+      pending_peer_fin_ = false;
+      rcv_nxt_ = std::max(rcv_nxt_, peer_fin_seq_ + 1);
+      SendAck();
+      if (eof_cb_) {
+        eof_cb_();
+      }
+    } else if (filled_hole || segs_since_ack_ >= 2 || !out_of_order_.empty()) {
+      SendAck();
+    } else {
+      ScheduleDelayedAck();
+    }
+    ScheduleReadableWakeup();
+  } else {
+    // Out of order: buffer and send an immediate duplicate ACK with SACK.
+    if (out_of_order_.find(seq) == out_of_order_.end()) {
+      out_of_order_[seq] = seg.payload_bytes;
+      ooo_bytes_ += seg.payload_bytes;
+      sack_hint_ = seq;
+      if (observer_ != nullptr) {
+        observer_->OnTcpRxSegment(seq, end, loop_->now(), /*in_order=*/false);
+      }
+    }
+    SendAck();
+  }
+}
+
+void TcpSocket::SendAck() {
+  segs_since_ack_ = 0;
+  if (delayed_ack_event_ != 0) {
+    loop_->Cancel(delayed_ack_event_);
+    delayed_ack_event_ = 0;
+  }
+  TcpSegmentPayload ack;
+  ack.ack = true;
+  ack.ack_seq = rcv_nxt_;
+  ack.receive_window = AdvertisedWindow();
+  ack.ece = echo_ece_;
+
+  if (!out_of_order_.empty()) {
+    // Build merged SACK ranges; report the block containing the most recent
+    // arrival first (RFC 2018), capped at kMaxSackBlocks.
+    std::vector<SackBlock> merged;
+    for (const auto& [b, len] : out_of_order_) {
+      uint64_t e = b + len;
+      if (!merged.empty() && b <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, e);
+      } else {
+        merged.push_back({b, e});
+      }
+    }
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i].begin <= sack_hint_ && sack_hint_ < merged[i].end) {
+        std::rotate(merged.begin(), merged.begin() + static_cast<long>(i), merged.end());
+        break;
+      }
+    }
+    if (merged.size() > TcpSegmentPayload::kMaxSackBlocks) {
+      merged.resize(TcpSegmentPayload::kMaxSackBlocks);
+    }
+    ack.sacks = std::move(merged);
+  }
+  EmitSegment(ack, 0);
+}
+
+void TcpSocket::ScheduleDelayedAck() {
+  if (delayed_ack_event_ != 0) {
+    return;
+  }
+  auto alive = alive_;
+  delayed_ack_event_ = loop_->ScheduleAfter(config_.delayed_ack_timeout, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    delayed_ack_event_ = 0;
+    SendAck();
+  });
+}
+
+void TcpSocket::ScheduleReadableWakeup() {
+  if (readable_wakeup_pending_ || !readable_cb_) {
+    return;
+  }
+  readable_wakeup_pending_ = true;
+  TimeDelta latency =
+      TimeDelta::FromSeconds(rng_.Exponential(config_.app_wakeup_latency_mean.ToSeconds()));
+  auto alive = alive_;
+  loop_->ScheduleAfter(latency, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    readable_wakeup_pending_ = false;
+    if (ReadableBytes() > 0 && readable_cb_) {
+      readable_cb_();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------------
+
+void TcpSocket::EmitSegment(TcpSegmentPayload seg, uint32_t payload_bytes,
+                            uint32_t priority_band) {
+  Packet pkt;
+  pkt.flow_id = flow_id_;
+  pkt.priority_band = priority_band;
+  pkt.created = loop_->now();
+  if (seg.syn) {
+    pkt.size_bytes = kSynWireBytes;
+  } else {
+    pkt.size_bytes = kIpTcpHeaderBytes + payload_bytes +
+                     static_cast<uint32_t>(seg.sacks.empty() ? 0 : 4 + 8 * seg.sacks.size());
+  }
+  pkt.ecn_capable = config_.ecn && payload_bytes > 0;
+  pkt.payload = std::make_shared<TcpSegmentPayload>(std::move(seg));
+  ++segs_out_;
+  ++info_version_;
+  tx_->Deliver(std::move(pkt));
+}
+
+void TcpSocket::Deliver(Packet pkt) {
+  const TcpSegmentPayload& seg = AsTcp(pkt);
+  ++segs_in_;
+  ++info_version_;
+
+  switch (state_) {
+    case State::kClosed:
+      return;
+    case State::kListen:
+      if (seg.syn && !seg.ack) {
+        peer_rwnd_ = seg.receive_window;
+        BecomeEstablished();
+        TcpSegmentPayload synack;
+        synack.syn = true;
+        synack.ack = true;
+        synack.ack_seq = 0;
+        synack.receive_window = AdvertisedWindow();
+        EmitSegment(synack, 0);
+      }
+      return;
+    case State::kSynSent:
+      if (seg.syn && seg.ack) {
+        if (syn_retry_event_ != 0) {
+          loop_->Cancel(syn_retry_event_);
+          syn_retry_event_ = 0;
+        }
+        peer_rwnd_ = seg.receive_window;
+        BecomeEstablished();
+        SendAck();
+      }
+      return;
+    case State::kSynReceived:
+    case State::kEstablished:
+      break;
+  }
+
+  if (seg.syn) {
+    // Duplicate SYN (our SYN-ACK was lost): repeat it.
+    TcpSegmentPayload synack;
+    synack.syn = true;
+    synack.ack = true;
+    synack.receive_window = AdvertisedWindow();
+    EmitSegment(synack, 0);
+    return;
+  }
+  if (seg.payload_bytes > 0) {
+    OnDataSegment(pkt, seg);
+  }
+  if (seg.fin && !peer_fin_received_) {
+    if (seg.seq <= rcv_nxt_) {
+      // All data before the FIN has arrived: consume its phantom byte.
+      peer_fin_received_ = true;
+      pending_peer_fin_ = false;
+      rcv_nxt_ = std::max(rcv_nxt_, seg.seq + 1);
+      SendAck();
+      if (eof_cb_) {
+        eof_cb_();
+      }
+    } else {
+      pending_peer_fin_ = true;  // data still missing; re-check on arrival
+      peer_fin_seq_ = seg.seq;
+      SendAck();
+    }
+  }
+  if (seg.ack) {
+    OnAckSegment(seg);
+  }
+}
+
+const TcpInfoData& TcpSocket::SharedInfoPage() const {
+  if (shared_page_version_ != info_version_) {
+    shared_page_ = GetTcpInfo();
+    shared_page_version_ = info_version_;
+  }
+  return shared_page_;
+}
+
+TcpInfoData TcpSocket::GetTcpInfo() const {
+  TcpInfoData info;
+  info.tcpi_bytes_acked = snd_una_;
+  uint64_t pipe = snd_nxt_ - snd_una_;
+  info.tcpi_unacked = static_cast<uint32_t>((pipe + config_.mss - 1) / config_.mss);
+  info.tcpi_snd_mss = config_.mss;
+  info.tcpi_snd_cwnd = static_cast<uint32_t>(std::max(cc_->CwndSegments(), 2.0));
+  info.tcpi_snd_ssthresh = cc_->SsthreshSegments();
+  info.tcpi_segs_out = segs_out_;
+  info.tcpi_total_retrans = static_cast<uint32_t>(total_retrans_);
+  info.tcpi_notsent_bytes =
+      static_cast<uint32_t>(write_seq_ > snd_nxt_ ? write_seq_ - snd_nxt_ : 0);
+  info.tcpi_segs_in = segs_in_;
+  info.tcpi_rcv_mss = config_.mss;
+  info.tcpi_bytes_received = rcv_nxt_ - (peer_fin_received_ ? 1 : 0);
+  info.tcpi_rtt_us = static_cast<uint32_t>(srtt_.ToMicros());
+  info.tcpi_rttvar_us = static_cast<uint32_t>(rttvar_.ToMicros());
+  info.tcpi_min_rtt_us =
+      min_rtt_.IsInfinite() ? 0 : static_cast<uint32_t>(min_rtt_.ToMicros());
+  info.tcpi_delivery_rate_bps = static_cast<uint64_t>(latest_rate_sample_.bps());
+  std::optional<DataRate> pacing = cc_->PacingRate();
+  info.tcpi_pacing_rate_bps = pacing.has_value() ? static_cast<uint64_t>(pacing->bps()) : 0;
+  return info;
+}
+
+}  // namespace element

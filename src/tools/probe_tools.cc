@@ -1,0 +1,130 @@
+#include "src/tools/probe_tools.h"
+
+#include <utility>
+
+#include "src/tcpsim/tcp_segment.h"
+
+namespace element {
+
+void SynResponder::Deliver(Packet pkt) {
+  const auto& seg = *static_cast<const TcpSegmentPayload*>(pkt.payload.get());
+  if (!seg.syn || seg.ack) {
+    return;
+  }
+  TcpSegmentPayload synack;
+  synack.syn = true;
+  synack.ack = true;
+  Packet reply;
+  reply.flow_id = pkt.flow_id;
+  reply.size_bytes = reply_size_;
+  reply.created = pkt.created;
+  reply.payload = std::make_shared<TcpSegmentPayload>(synack);
+  reply_pipe_->Deliver(std::move(reply));
+}
+
+SynProbeTool::SynProbeTool(EventLoop* loop, DuplexPath* path, Profile profile)
+    : loop_(loop),
+      path_(path),
+      profile_(std::move(profile)),
+      flow_id_(path->AllocateFlowId()),
+      timer_(loop, profile_.interval, [this] { SendProbe(); }) {
+  responder_ = std::make_unique<SynResponder>(&path_->reverse());
+  path_->server_demux().Register(flow_id_, responder_.get());
+  path_->client_demux().Register(flow_id_, this);
+}
+
+SynProbeTool::~SynProbeTool() {
+  path_->server_demux().Unregister(flow_id_);
+  path_->client_demux().Unregister(flow_id_);
+}
+
+void SynProbeTool::Start() {
+  SendProbe();
+  timer_.Start();
+}
+
+void SynProbeTool::Stop() { timer_.Stop(); }
+
+void SynProbeTool::SendProbe() {
+  TcpSegmentPayload syn;
+  syn.syn = true;
+  Packet pkt;
+  pkt.flow_id = flow_id_;
+  pkt.size_bytes = profile_.probe_size_bytes;
+  pkt.created = loop_->now();
+  pkt.payload = std::make_shared<TcpSegmentPayload>(syn);
+  probe_sent_ = loop_->now();
+  awaiting_reply_ = true;
+  path_->forward().Deliver(std::move(pkt));
+}
+
+void SynProbeTool::Deliver(Packet /*pkt*/) {
+  if (!awaiting_reply_) {
+    return;
+  }
+  awaiting_reply_ = false;
+  rtt_.Add((loop_->now() - probe_sent_).ToSeconds());
+}
+
+EchoPing::EchoPing(EventLoop* loop, TcpSocket* client, TcpSocket* server,
+                   size_t document_bytes, uint32_t request_bytes, TimeDelta pause_between)
+    : loop_(loop),
+      client_(client),
+      server_(server),
+      document_bytes_(document_bytes),
+      request_bytes_(request_bytes),
+      pause_(pause_between),
+      expected_read_(0) {}
+
+void EchoPing::Start() {
+  server_->SetReadableCallback([this] { OnServerReadable(); });
+  server_->SetWritableCallback([this] { PumpServerResponse(); });
+  client_->SetReadableCallback([this] { OnClientReadable(); });
+  if (client_->established()) {
+    SendRequest();
+  } else {
+    client_->SetEstablishedCallback([this] { SendRequest(); });
+  }
+}
+
+void EchoPing::SendRequest() {
+  if (in_flight_) {
+    return;
+  }
+  in_flight_ = true;
+  request_time_ = loop_->now();
+  expected_read_ = client_->app_bytes_read() + document_bytes_;
+  client_->Write(request_bytes_);
+}
+
+void EchoPing::OnServerReadable() {
+  size_t n = server_->Read(1 << 20);
+  if (n > 0) {
+    // HTTP-ish: any request triggers one document response.
+    response_left_ += (n / request_bytes_) * document_bytes_;
+    PumpServerResponse();
+  }
+}
+
+void EchoPing::PumpServerResponse() {
+  while (response_left_ > 0) {
+    size_t w = server_->Write(response_left_);
+    response_left_ -= w;
+    if (w == 0) {
+      break;
+    }
+  }
+}
+
+void EchoPing::OnClientReadable() {
+  while (client_->Read(1 << 20) > 0) {
+  }
+  if (in_flight_ && client_->app_bytes_read() >= expected_read_) {
+    in_flight_ = false;
+    times_.Add((loop_->now() - request_time_).ToSeconds());
+    ++completed_;
+    loop_->ScheduleAfter(pause_, [this] { SendRequest(); });
+  }
+}
+
+}  // namespace element

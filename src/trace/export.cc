@@ -1,0 +1,62 @@
+#include "src/trace/export.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace element {
+
+void WriteTimeSeriesCsv(std::ostream& os, const TimeSeries& series,
+                        const std::string& value_name) {
+  os << "t_seconds," << value_name << "\n";
+  os << std::setprecision(9);
+  for (const TimeSeries::Point& p : series.points()) {
+    os << p.t.ToSeconds() << "," << p.v << "\n";
+  }
+}
+
+void WriteCdfCsv(std::ostream& os, const SampleSet& samples,
+                 const std::vector<double>& quantiles, const std::string& value_name) {
+  os << "quantile," << value_name << "\n";
+  os << std::setprecision(9);
+  for (double q : quantiles) {
+    os << q << "," << samples.Quantile(q) << "\n";
+  }
+}
+
+void WriteSummaryJson(std::ostream& os, const SampleSet& samples, const std::string& name) {
+  os << std::setprecision(9);
+  os << "{\"name\":\"" << name << "\",\"count\":" << samples.count()
+     << ",\"mean\":" << samples.mean() << ",\"stdev\":" << samples.Stdev()
+     << ",\"min\":" << samples.min() << ",\"max\":" << samples.max()
+     << ",\"p50\":" << samples.Quantile(0.5) << ",\"p90\":" << samples.Quantile(0.9)
+     << ",\"p99\":" << samples.Quantile(0.99) << "}";
+}
+
+void WriteCompositionJson(std::ostream& os, const GroundTruthTracer::Composition& composition) {
+  os << std::setprecision(9);
+  os << "{\"sender_s\":" << composition.sender_s << ",\"network_s\":" << composition.network_s
+     << ",\"receiver_s\":" << composition.receiver_s << ",\"total_s\":" << composition.total_s
+     << "}";
+}
+
+bool WriteTimeSeriesCsvFile(const std::string& path, const TimeSeries& series,
+                            const std::string& value_name) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  WriteTimeSeriesCsv(f, series, value_name);
+  return static_cast<bool>(f);
+}
+
+bool WriteCdfCsvFile(const std::string& path, const SampleSet& samples,
+                     const std::vector<double>& quantiles, const std::string& value_name) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  WriteCdfCsv(f, samples, quantiles, value_name);
+  return static_cast<bool>(f);
+}
+
+}  // namespace element

@@ -1,0 +1,42 @@
+// Periodic goodput meter for a flow, used by the benches to report the
+// throughput columns/series of Figures 9, 13, 14, 16, 18.
+
+#ifndef ELEMENT_SRC_TRACE_FLOW_METER_H_
+#define ELEMENT_SRC_TRACE_FLOW_METER_H_
+
+#include <memory>
+
+#include "src/common/data_rate.h"
+#include "src/common/stats.h"
+#include "src/evloop/event_loop.h"
+#include "src/tcpsim/tcp_socket.h"
+
+namespace element {
+
+class FlowMeter {
+ public:
+  FlowMeter(EventLoop* loop, const TcpSocket* receiver,
+            TimeDelta period = TimeDelta::FromMillis(100));
+
+  void Start() { timer_.Start(); }
+  void Stop() { timer_.Stop(); }
+
+  // Per-period goodput samples, Mbps.
+  const TimeSeries& throughput_mbps() const { return series_; }
+  // Average goodput between `from` and now (app bytes consumed).
+  DataRate MeanGoodput(SimTime from = SimTime::Zero()) const;
+
+ private:
+  void Sample();
+
+  EventLoop* loop_;
+  const TcpSocket* receiver_;
+  PeriodicTimer timer_;
+  TimeSeries series_;
+  uint64_t last_bytes_ = 0;
+  SimTime last_sample_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TRACE_FLOW_METER_H_

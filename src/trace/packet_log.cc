@@ -1,0 +1,66 @@
+#include "src/trace/packet_log.h"
+
+#include <iomanip>
+
+#include "src/common/data_rate.h"
+
+namespace element {
+
+SampleSet PacketLog::InterArrivalTimes(uint64_t flow_id) const {
+  SampleSet out;
+  bool have_prev = false;
+  SimTime prev;
+  for (const Entry& e : entries_) {
+    if (flow_id != 0 && e.flow_id != flow_id) {
+      continue;
+    }
+    if (have_prev) {
+      out.Add((e.at - prev).ToSeconds());
+    }
+    prev = e.at;
+    have_prev = true;
+  }
+  return out;
+}
+
+DataRate PacketLog::RateInWindow(uint64_t flow_id) const {
+  if (entries_.size() < 2) {
+    return DataRate::Zero();
+  }
+  // The first matching packet opens the window; its bytes are not "inside" it.
+  int64_t bytes = 0;
+  bool any = false;
+  SimTime first;
+  SimTime last;
+  for (const Entry& e : entries_) {
+    if (flow_id != 0 && e.flow_id != flow_id) {
+      continue;
+    }
+    if (!any) {
+      first = e.at;
+      any = true;
+      continue;
+    }
+    last = e.at;
+    bytes += e.size_bytes;
+  }
+  if (!any || last <= first) {
+    return DataRate::Zero();
+  }
+  return RateOver(bytes, last - first);
+}
+
+void PacketLog::Dump(std::ostream& os, size_t max_lines) const {
+  os << std::setprecision(6) << std::fixed;
+  size_t start = entries_.size() > max_lines ? entries_.size() - max_lines : 0;
+  for (size_t i = start; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    os << e.at.ToSeconds() << " flow=" << e.flow_id << " len=" << e.size_bytes;
+    if (e.ecn_marked) {
+      os << " [CE]";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace element

@@ -1,0 +1,68 @@
+// Pcap-style per-packet event log: a PacketSink decorator that timestamps
+// every packet crossing a point in the topology into a bounded ring buffer.
+// Useful for debugging protocol behaviour and for computing arrival-process
+// statistics (inter-arrival times, rate over windows).
+
+#ifndef ELEMENT_SRC_TRACE_PACKET_LOG_H_
+#define ELEMENT_SRC_TRACE_PACKET_LOG_H_
+
+#include <deque>
+#include <ostream>
+
+#include "src/common/data_rate.h"
+#include "src/common/stats.h"
+#include "src/evloop/event_loop.h"
+#include "src/netsim/packet.h"
+
+namespace element {
+
+class PacketLog : public PacketSink {
+ public:
+  struct Entry {
+    SimTime at;
+    uint64_t flow_id;
+    uint32_t size_bytes;
+    bool ecn_marked;
+  };
+
+  // Interposes in front of `next`; keeps at most `capacity` entries (oldest
+  // evicted first).
+  PacketLog(EventLoop* loop, PacketSink* next, size_t capacity = 1 << 16)
+      : loop_(loop), next_(next), capacity_(capacity) {}
+
+  void Deliver(Packet pkt) override {
+    if (entries_.size() >= capacity_) {
+      entries_.pop_front();
+    }
+    entries_.push_back({loop_->now(), pkt.flow_id, pkt.size_bytes, pkt.ecn_marked});
+    ++total_packets_;
+    total_bytes_ += pkt.size_bytes;
+    next_->Deliver(std::move(pkt));
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  uint64_t total_packets() const { return total_packets_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  // Inter-arrival times (seconds) of the retained entries, optionally
+  // restricted to one flow (flow_id 0 = all flows).
+  SampleSet InterArrivalTimes(uint64_t flow_id = 0) const;
+
+  // Rate over the retained window for one flow (0 = all).
+  DataRate RateInWindow(uint64_t flow_id = 0) const;
+
+  // tcpdump-ish text dump: "<t> flow=<id> len=<n> [CE]".
+  void Dump(std::ostream& os, size_t max_lines = 100) const;
+
+ private:
+  EventLoop* loop_;
+  PacketSink* next_;
+  size_t capacity_;
+  std::deque<Entry> entries_;
+  uint64_t total_packets_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TRACE_PACKET_LOG_H_

@@ -1,0 +1,182 @@
+#include "src/udpproto/low_latency_protocols.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace element {
+
+// ---------------------------------------------------------------------------
+// SproutLike
+// ---------------------------------------------------------------------------
+
+SproutLikeFlow::SproutLikeFlow(EventLoop* loop, DuplexPath* path, Params params)
+    : loop_(loop),
+      params_(params),
+      send_timer_(loop, params.tick, [this] { SenderTick(); }),
+      recv_timer_(loop, params.tick, [this] { ReceiverTick(); }) {
+  uint64_t flow_id = path->AllocateFlowId();
+  sender_ = std::make_unique<UdpSocket>(loop, flow_id, &path->forward(), &path->client_demux());
+  receiver_ =
+      std::make_unique<UdpSocket>(loop, flow_id, &path->reverse(), &path->server_demux());
+  sender_->SetReceiveCallback(
+      [this](const UdpDatagramPayload& p, const Packet& pkt) { OnSenderReceive(p, pkt); });
+  receiver_->SetReceiveCallback(
+      [this](const UdpDatagramPayload& p, const Packet& pkt) { OnReceiverReceive(p, pkt); });
+}
+
+void SproutLikeFlow::Start() {
+  send_timer_.Start();
+  recv_timer_.Start();
+}
+
+void SproutLikeFlow::Stop() {
+  send_timer_.Stop();
+  recv_timer_.Stop();
+}
+
+void SproutLikeFlow::SenderTick() {
+  // Spend this tick's share of the forecast allowance.
+  double per_tick = allowance_bytes_ * (params_.tick.ToSeconds() /
+                                        params_.forecast_horizon.ToSeconds());
+  int64_t budget = static_cast<int64_t>(per_tick);
+  while (budget > 0) {
+    UdpDatagramPayload dg;
+    dg.seq = ++next_seq_;
+    dg.payload_bytes = params_.datagram_bytes;
+    sender_->SendDatagram(dg);
+    budget -= params_.datagram_bytes;
+  }
+}
+
+void SproutLikeFlow::OnSenderReceive(const UdpDatagramPayload& payload, const Packet&) {
+  if (payload.is_feedback) {
+    allowance_bytes_ = payload.metric_a;
+  }
+}
+
+void SproutLikeFlow::OnReceiverReceive(const UdpDatagramPayload& payload, const Packet&) {
+  if (payload.is_feedback) {
+    return;
+  }
+  TimeDelta owd = loop_->now() - payload.sent;
+  delays_.Add(owd.ToSeconds());
+  min_owd_ = std::min(min_owd_, owd);
+  tick_max_owd_ = std::max(tick_max_owd_, owd);
+  delivered_bytes_ += payload.payload_bytes;
+  tick_bytes_ += payload.payload_bytes;
+}
+
+void SproutLikeFlow::ReceiverTick() {
+  double inst_rate = static_cast<double>(tick_bytes_) / params_.tick.ToSeconds();
+  tick_bytes_ = 0;
+  if (!have_rate_) {
+    rate_mean_ = inst_rate;
+    rate_var_ = inst_rate * inst_rate * 0.25;
+    have_rate_ = true;
+  } else {
+    double d = inst_rate - rate_mean_;
+    rate_mean_ += 0.125 * d;
+    rate_var_ = 0.875 * rate_var_ + 0.125 * d * d;
+  }
+  // Conservative stochastic forecast: the cautious percentile of the rate,
+  // probed upward while queueing stays below target and cut when it exceeds.
+  double safe_rate = std::max(0.0, rate_mean_ - params_.caution_stddevs * std::sqrt(rate_var_));
+  TimeDelta queueing =
+      min_owd_.IsInfinite() ? TimeDelta::Zero() : tick_max_owd_ - min_owd_;
+  double gain = queueing > params_.queueing_target ? params_.backoff_gain : params_.probe_gain;
+  tick_max_owd_ = TimeDelta::Zero();
+  UdpDatagramPayload fb;
+  fb.is_feedback = true;
+  fb.payload_bytes = 40;
+  fb.metric_a = safe_rate * gain * params_.forecast_horizon.ToSeconds() +
+                static_cast<double>(params_.datagram_bytes);  // never fully starve
+  fb.metric_b = rate_mean_;
+  receiver_->SendDatagram(fb);
+}
+
+DataRate SproutLikeFlow::MeanThroughput(SimTime from, SimTime to) const {
+  TimeDelta span = to - from;
+  if (span <= TimeDelta::Zero()) {
+    return DataRate::Zero();
+  }
+  return RateOver(static_cast<int64_t>(delivered_bytes_), span);
+}
+
+// ---------------------------------------------------------------------------
+// VerusLike
+// ---------------------------------------------------------------------------
+
+VerusLikeFlow::VerusLikeFlow(EventLoop* loop, DuplexPath* path, Params params)
+    : loop_(loop), params_(params), epoch_timer_(loop, params.epoch, [this] { EpochTick(); }) {
+  uint64_t flow_id = path->AllocateFlowId();
+  sender_ = std::make_unique<UdpSocket>(loop, flow_id, &path->forward(), &path->client_demux());
+  receiver_ =
+      std::make_unique<UdpSocket>(loop, flow_id, &path->reverse(), &path->server_demux());
+  sender_->SetReceiveCallback(
+      [this](const UdpDatagramPayload& p, const Packet& pkt) { OnSenderReceive(p, pkt); });
+  receiver_->SetReceiveCallback(
+      [this](const UdpDatagramPayload& p, const Packet& pkt) { OnReceiverReceive(p, pkt); });
+}
+
+void VerusLikeFlow::Start() {
+  epoch_timer_.Start();
+  TrySend();
+}
+
+void VerusLikeFlow::Stop() { epoch_timer_.Stop(); }
+
+void VerusLikeFlow::TrySend() {
+  uint64_t last_sent = next_seq_;
+  uint64_t unacked =
+      (last_sent > highest_acked_ ? last_sent - highest_acked_ : 0) * params_.datagram_bytes;
+  while (unacked + params_.datagram_bytes <= static_cast<uint64_t>(window_bytes_)) {
+    UdpDatagramPayload dg;
+    dg.seq = ++next_seq_;
+    dg.payload_bytes = params_.datagram_bytes;
+    sender_->SendDatagram(dg);
+    unacked += params_.datagram_bytes;
+  }
+}
+
+void VerusLikeFlow::OnSenderReceive(const UdpDatagramPayload& payload, const Packet&) {
+  if (!payload.is_feedback) {
+    return;
+  }
+  highest_acked_ = std::max(highest_acked_, payload.ack_seq);
+  latest_owd_ = TimeDelta::FromSeconds(payload.metric_b);
+  min_owd_ = std::min(min_owd_, latest_owd_);
+  TrySend();
+}
+
+void VerusLikeFlow::OnReceiverReceive(const UdpDatagramPayload& payload, const Packet&) {
+  if (payload.is_feedback) {
+    return;
+  }
+  TimeDelta owd = loop_->now() - payload.sent;
+  delays_.Add(owd.ToSeconds());
+  delivered_bytes_ += payload.payload_bytes;
+  UdpDatagramPayload fb;
+  fb.is_feedback = true;
+  fb.payload_bytes = 40;
+  fb.ack_seq = payload.seq;
+  fb.metric_b = owd.ToSeconds();
+  receiver_->SendDatagram(fb);
+}
+
+void VerusLikeFlow::EpochTick() {
+  if (min_owd_.IsInfinite()) {
+    TrySend();
+    return;
+  }
+  TimeDelta queueing = latest_owd_ - min_owd_;
+  if (queueing < params_.delay_target_low) {
+    window_bytes_ += params_.increase_bytes;
+  } else if (queueing > params_.delay_target_high) {
+    window_bytes_ *= params_.decrease_factor;
+  }
+  window_bytes_ = std::clamp(window_bytes_, static_cast<double>(params_.datagram_bytes),
+                             params_.max_window_bytes);
+  TrySend();
+}
+
+}  // namespace element

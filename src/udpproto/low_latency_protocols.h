@@ -1,0 +1,127 @@
+// Behavioural models of the UDP low-latency protocols in Figure 16.
+//
+// SproutLike — after Sprout (Winstein et al., NSDI'13): the receiver observes
+// the arrival process in short ticks, forecasts how many bytes can safely be
+// in the network over the next horizon at a conservative percentile, and
+// feeds the sender an allowance. Very low delay, deliberately cautious
+// bandwidth estimates.
+//
+// VerusLike — after Verus (Zaki et al., SIGCOMM'15): a delay-driven sending
+// window; the sender learns the relationship between window and delay and
+// backs off multiplicatively when the delay rises above target.
+//
+// Both are simplifications; DESIGN.md documents the substitution. What
+// Figure 16 needs from them is the qualitative trade-off: minimal queueing
+// delay but poor throughput fairness against loss-based TCP.
+
+#ifndef ELEMENT_SRC_UDPPROTO_LOW_LATENCY_PROTOCOLS_H_
+#define ELEMENT_SRC_UDPPROTO_LOW_LATENCY_PROTOCOLS_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/udpproto/udp_socket.h"
+
+namespace element {
+
+class SproutLikeFlow {
+ public:
+  struct Params {
+    TimeDelta tick = TimeDelta::FromMillis(20);
+    TimeDelta forecast_horizon = TimeDelta::FromMillis(100);
+    double caution_stddevs = 1.3;  // ~10th percentile of the rate forecast
+    uint32_t datagram_bytes = 1400;
+    // Delay-bounded probing: overshoot the forecast while queueing stays
+    // below the target (Sprout's "fill the link, keep delay < 100 ms").
+    double probe_gain = 1.25;
+    double backoff_gain = 0.7;
+    TimeDelta queueing_target = TimeDelta::FromMillis(60);
+  };
+
+  SproutLikeFlow(EventLoop* loop, DuplexPath* path, Params params);
+  SproutLikeFlow(EventLoop* loop, DuplexPath* path) : SproutLikeFlow(loop, path, Params{}) {}
+
+  void Start();
+  void Stop();
+
+  const SampleSet& one_way_delays() const { return delays_; }
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  DataRate MeanThroughput(SimTime from, SimTime to) const;
+
+ private:
+  void SenderTick();
+  void OnSenderReceive(const UdpDatagramPayload& payload, const Packet& pkt);
+  void ReceiverTick();
+  void OnReceiverReceive(const UdpDatagramPayload& payload, const Packet& pkt);
+
+  EventLoop* loop_;
+  Params params_;
+  std::unique_ptr<UdpSocket> sender_;
+  std::unique_ptr<UdpSocket> receiver_;
+  PeriodicTimer send_timer_;
+  PeriodicTimer recv_timer_;
+
+  // Sender state.
+  double allowance_bytes_ = 20000.0;  // initial probe allowance
+  uint64_t next_seq_ = 0;
+
+  // Receiver state.
+  uint64_t tick_bytes_ = 0;
+  double rate_mean_ = 0.0;   // bytes/s
+  double rate_var_ = 0.0;
+  bool have_rate_ = false;
+  TimeDelta min_owd_ = TimeDelta::Infinite();
+  TimeDelta tick_max_owd_ = TimeDelta::Zero();
+  uint64_t delivered_bytes_ = 0;
+  SampleSet delays_;
+};
+
+class VerusLikeFlow {
+ public:
+  struct Params {
+    TimeDelta epoch = TimeDelta::FromMillis(5);
+    TimeDelta delay_target_low = TimeDelta::FromMillis(15);
+    TimeDelta delay_target_high = TimeDelta::FromMillis(45);
+    double decrease_factor = 0.87;
+    double increase_bytes = 2800.0;  // additive, per epoch
+    uint32_t datagram_bytes = 1400;
+    double max_window_bytes = 2e6;
+  };
+
+  VerusLikeFlow(EventLoop* loop, DuplexPath* path, Params params);
+  VerusLikeFlow(EventLoop* loop, DuplexPath* path) : VerusLikeFlow(loop, path, Params{}) {}
+
+  void Start();
+  void Stop();
+
+  const SampleSet& one_way_delays() const { return delays_; }
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  double window_bytes() const { return window_bytes_; }
+
+ private:
+  void EpochTick();
+  void TrySend();
+  void OnSenderReceive(const UdpDatagramPayload& payload, const Packet& pkt);
+  void OnReceiverReceive(const UdpDatagramPayload& payload, const Packet& pkt);
+
+  EventLoop* loop_;
+  Params params_;
+  std::unique_ptr<UdpSocket> sender_;
+  std::unique_ptr<UdpSocket> receiver_;
+  PeriodicTimer epoch_timer_;
+
+  double window_bytes_ = 14000.0;
+  uint64_t next_seq_ = 0;
+  uint64_t highest_acked_ = 0;
+  uint64_t bytes_unacked_ = 0;
+  TimeDelta min_owd_ = TimeDelta::Infinite();
+  TimeDelta latest_owd_ = TimeDelta::Zero();
+
+  uint64_t delivered_bytes_ = 0;
+  SampleSet delays_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_UDPPROTO_LOW_LATENCY_PROTOCOLS_H_

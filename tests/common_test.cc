@@ -1,0 +1,284 @@
+// Unit tests for the common substrate: time types, data rates, RNG, and the
+// statistics containers every experiment relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/data_rate.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+
+namespace element {
+namespace {
+
+TEST(TimeDeltaTest, ConstructionAndConversion) {
+  EXPECT_EQ(TimeDelta::FromMillis(5).nanos(), 5'000'000);
+  EXPECT_EQ(TimeDelta::FromMicros(5).nanos(), 5'000);
+  EXPECT_EQ(TimeDelta::FromSecondsInt(2).ToMillis(), 2000);
+  EXPECT_DOUBLE_EQ(TimeDelta::FromMillis(1500).ToSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(TimeDelta::FromMicros(2500).ToMillisF(), 2.5);
+}
+
+TEST(TimeDeltaTest, Arithmetic) {
+  TimeDelta a = TimeDelta::FromMillis(10);
+  TimeDelta b = TimeDelta::FromMillis(4);
+  EXPECT_EQ((a + b).ToMillis(), 14);
+  EXPECT_EQ((a - b).ToMillis(), 6);
+  EXPECT_EQ((a * 2.5).ToMillis(), 25);
+  EXPECT_EQ((a / 2).ToMillis(), 5);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((-b).nanos(), -4'000'000);
+}
+
+TEST(TimeDeltaTest, ComparisonAndSpecials) {
+  EXPECT_LT(TimeDelta::FromMillis(1), TimeDelta::FromMillis(2));
+  EXPECT_TRUE(TimeDelta::Zero().IsZero());
+  EXPECT_TRUE(TimeDelta::Infinite().IsInfinite());
+  EXPECT_GT(TimeDelta::Infinite(), TimeDelta::FromSecondsInt(1000000));
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  SimTime t0 = SimTime::Zero();
+  SimTime t1 = t0 + TimeDelta::FromMillis(150);
+  EXPECT_EQ((t1 - t0).ToMillis(), 150);
+  EXPECT_EQ((t1 - TimeDelta::FromMillis(50)).nanos(), 100'000'000);
+  EXPECT_LT(t0, t1);
+  t0 += TimeDelta::FromMillis(200);
+  EXPECT_GT(t0, t1);
+}
+
+TEST(TimeToStringTest, Readable) {
+  EXPECT_EQ(TimeDelta::FromMillis(5).ToString(), "5.000ms");
+  EXPECT_EQ(TimeDelta::Infinite().ToString(), "+inf");
+  EXPECT_EQ(SimTime::FromNanos(1'500'000'000).ToString(), "1.500000s");
+}
+
+TEST(DataRateTest, ConversionsAndTransmitTime) {
+  DataRate r = DataRate::Mbps(10);
+  EXPECT_DOUBLE_EQ(r.bps(), 10e6);
+  EXPECT_DOUBLE_EQ(r.ToMbps(), 10.0);
+  EXPECT_DOUBLE_EQ(r.BytesPerSec(), 1.25e6);
+  // 1250 bytes at 10 Mbps = 1 ms.
+  EXPECT_EQ(r.TransmitTime(1250).ToMicros(), 1000);
+  EXPECT_TRUE(DataRate::Zero().TransmitTime(100).IsInfinite());
+  EXPECT_DOUBLE_EQ(r.BytesIn(TimeDelta::FromSecondsInt(2)), 2.5e6);
+}
+
+TEST(DataRateTest, RateOver) {
+  EXPECT_DOUBLE_EQ(RateOver(1'250'000, TimeDelta::FromSecondsInt(1)).ToMbps(), 10.0);
+  EXPECT_TRUE(RateOver(1000, TimeDelta::Zero()).IsZero());
+}
+
+TEST(RngTest, Determinism) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(99);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Children seeded differently.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (child1.Uniform() != child2.Uniform()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, DistributionsInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    int64_t n = rng.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+    EXPECT_GE(rng.Exponential(0.5), 0.0);
+    EXPECT_GE(rng.NonNegNormal(0.0, 1.0), 0.0);
+    EXPECT_GE(rng.Pareto(1.0, 2.0), 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(0.02);
+  }
+  EXPECT_NEAR(sum / n, 0.02, 0.002);
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.Stdev(), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.Normal(10, 3);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-6);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Stdev(), 0.0);
+}
+
+TEST(SampleSetTest, QuantilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.9), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSetTest, FractionBelow) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.FractionBelow(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(100.0), 1.0);
+}
+
+TEST(SampleSetTest, AddAfterQuantileResorts) {
+  SampleSet s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+}
+
+TEST(SampleSetTest, MeanStdev) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_NEAR(s.Stdev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(TimeSeriesTest, InterpolationMidpoints) {
+  TimeSeries ts;
+  ts.Add(SimTime::FromNanos(0), 0.0);
+  ts.Add(SimTime::FromNanos(1'000'000'000), 10.0);
+  double v = -1;
+  ASSERT_TRUE(ts.InterpolateAt(SimTime::FromNanos(500'000'000), &v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  // Clamping outside range.
+  ASSERT_TRUE(ts.InterpolateAt(SimTime::FromNanos(-5), &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  ASSERT_TRUE(ts.InterpolateAt(SimTime::FromNanos(2'000'000'000), &v));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(TimeSeriesTest, EmptyReturnsFalse) {
+  TimeSeries ts;
+  double v;
+  EXPECT_FALSE(ts.InterpolateAt(SimTime::Zero(), &v));
+}
+
+TEST(TimeSeriesTest, MeanAfterSkipsPrefix) {
+  TimeSeries ts;
+  ts.Add(SimTime::FromNanos(0), 100.0);
+  ts.Add(SimTime::FromNanos(2'000'000'000), 2.0);
+  ts.Add(SimTime::FromNanos(3'000'000'000), 4.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAfter(SimTime::FromNanos(1'000'000'000)), 3.0);
+}
+
+TEST(TablePrinterTest, RendersAlignedRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", TablePrinter::Fmt(1.5, 2)});
+  table.AddRow({"b", "x"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(FlagsTest, ParsesBothForms) {
+  const char* argv[] = {"prog", "measure", "--rate-mbps", "25", "--qdisc=codel", "--ecn"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(6, argv));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "measure");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate-mbps", 0), 25.0);
+  EXPECT_EQ(flags.GetString("qdisc"), "codel");
+  EXPECT_TRUE(flags.GetBool("ecn"));
+}
+
+TEST(FlagsTest, DefaultsAndTypes) {
+  const char* argv[] = {"prog", "--n", "12", "--bad-num", "xyz"};
+  Flags flags;
+  flags.Parse(5, argv);
+  EXPECT_EQ(flags.GetInt("n", 0), 12);
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_EQ(flags.GetInt("bad-num", 3), 3);  // unparsable -> default
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("missing"));
+}
+
+TEST(FlagsTest, BareFlagBeforeAnotherFlagIsBoolean) {
+  const char* argv[] = {"prog", "--wireless", "--flows", "3"};
+  Flags flags;
+  flags.Parse(4, argv);
+  EXPECT_TRUE(flags.GetBool("wireless"));
+  EXPECT_EQ(flags.GetInt("flows", 0), 3);
+}
+
+TEST(FlagsTest, UnusedFlagDetection) {
+  const char* argv[] = {"prog", "--typo-flag", "1", "--used", "2"};
+  Flags flags;
+  flags.Parse(5, argv);
+  flags.GetInt("used", 0);
+  auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-flag");
+}
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,245 @@
+// Unit tests for ELEMENT's delay estimators (Algorithms 1 and 2) and the
+// tcp_info tracker, driven by synthetic tcp_info snapshots.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/element/delay_estimator.h"
+#include "src/element/tcp_info_tracker.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+namespace {
+
+SimTime Ms(int64_t ms) { return SimTime::FromNanos(ms * 1'000'000); }
+
+TcpInfoData SenderInfo(uint64_t bytes_acked, uint32_t unacked, uint32_t mss = 1000) {
+  TcpInfoData info;
+  info.tcpi_bytes_acked = bytes_acked;
+  info.tcpi_unacked = unacked;
+  info.tcpi_snd_mss = mss;
+  info.tcpi_snd_cwnd = 10;
+  info.tcpi_snd_ssthresh = 100;
+  info.tcpi_rtt_us = 50000;
+  return info;
+}
+
+TcpInfoData ReceiverInfo(uint64_t segs_in, uint32_t rcv_mss = 1000) {
+  TcpInfoData info;
+  info.tcpi_segs_in = segs_in;
+  info.tcpi_rcv_mss = rcv_mss;
+  return info;
+}
+
+TEST(SenderEstimatorTest, EstimateFormulaMatchesPaper) {
+  // B_est = bytes_acked + unacked * snd_mss.
+  EXPECT_EQ(SenderDelayEstimator::EstimateSentBytes(SenderInfo(5000, 3)), 8000u);
+  EXPECT_EQ(SenderDelayEstimator::EstimateSentBytes(SenderInfo(0, 0)), 0u);
+}
+
+TEST(SenderEstimatorTest, MatchesRecordsAgainstEstimatedSentBytes) {
+  SenderDelayEstimator est;
+  std::vector<DelayReport> reports;
+  est.set_report_sink([&](const DelayReport& r) { reports.push_back(r); });
+
+  est.OnAppSend(1000, Ms(0));
+  est.OnAppSend(2000, Ms(10));
+  est.OnAppSend(3000, Ms(20));
+  // Estimated sent bytes = 2000: the first two records have left TCP.
+  est.OnTcpInfoSample(SenderInfo(1000, 1), Ms(50));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].delay.ToMillis(), 50);
+  EXPECT_EQ(reports[1].delay.ToMillis(), 40);
+  EXPECT_EQ(est.pending_records(), 1u);
+  EXPECT_EQ(est.latest_delay().ToMillis(), 40);
+  // Remaining record matches later.
+  est.OnTcpInfoSample(SenderInfo(3000, 0), Ms(70));
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[2].delay.ToMillis(), 50);
+  EXPECT_EQ(est.pending_records(), 0u);
+}
+
+TEST(SenderEstimatorTest, NoReportWhenNothingLeftTcp) {
+  SenderDelayEstimator est;
+  est.OnAppSend(5000, Ms(0));
+  est.OnTcpInfoSample(SenderInfo(0, 2), Ms(10));  // only 2000 estimated sent
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_EQ(est.pending_records(), 1u);
+}
+
+TEST(SenderEstimatorTest, ReportCarriesTcpState) {
+  SenderDelayEstimator est;
+  DelayReport last;
+  est.set_report_sink([&](const DelayReport& r) { last = r; });
+  est.OnAppSend(100, Ms(0));
+  TcpInfoData info = SenderInfo(100, 0);
+  est.OnTcpInfoSample(info, Ms(5));
+  EXPECT_EQ(last.snd_cwnd, 10u);
+  EXPECT_EQ(last.snd_ssthresh, 100u);
+  EXPECT_EQ(last.rtt_us, 50000u);
+}
+
+TEST(SenderEstimatorTest, SeriesAndSamplesAccumulate) {
+  SenderDelayEstimator est;
+  for (int i = 0; i < 10; ++i) {
+    est.OnAppSend(static_cast<uint64_t>(i + 1) * 100, Ms(i * 10));
+  }
+  est.OnTcpInfoSample(SenderInfo(1000, 0), Ms(200));
+  EXPECT_EQ(est.delay_samples().count(), 10u);
+  EXPECT_EQ(est.delay_series().count(), 10u);
+}
+
+TEST(SenderEstimatorTest, NotsentFormulaIsExactWithPartialSegments) {
+  SenderDelayEstimator est(SenderDelayEstimator::SentBytesFormula::kNotsentBased);
+  est.OnAppSend(2500, Ms(0));  // app wrote 2500 bytes total
+  TcpInfoData info = SenderInfo(/*acked=*/0, /*unacked=*/2);  // paper would say 2000
+  info.tcpi_notsent_bytes = 600;  // exactly 1900 actually left TCP
+  EXPECT_EQ(est.EstimateSentBytesForMatching(info), 1900u);
+  // The paper formula on the same snapshot rounds to whole segments.
+  EXPECT_EQ(SenderDelayEstimator::EstimateSentBytes(info), 2000u);
+}
+
+TEST(ReceiverEstimatorTest, EstimateFormulaMatchesPaper) {
+  EXPECT_EQ(ReceiverDelayEstimator::EstimateReceivedBytes(ReceiverInfo(7)), 7000u);
+}
+
+TEST(ReceiverEstimatorTest, RecordsOnlyOnProgress) {
+  ReceiverDelayEstimator est;
+  est.OnTcpInfoSample(ReceiverInfo(5), Ms(0));
+  est.OnTcpInfoSample(ReceiverInfo(5), Ms(10));  // no progress: no new record
+  est.OnTcpInfoSample(ReceiverInfo(6), Ms(20));
+  EXPECT_EQ(est.pending_records(), 2u);
+}
+
+TEST(ReceiverEstimatorTest, ReadMatchesCoveringRecord) {
+  ReceiverDelayEstimator est;
+  est.OnTcpInfoSample(ReceiverInfo(2), Ms(0));   // 2000 bytes at TCP by t=0
+  est.OnTcpInfoSample(ReceiverInfo(4), Ms(10));  // 4000 bytes at TCP by t=10
+  // App reads 1500 bytes at t=30: record "2000@0" covers it (first with
+  // bytes > 1500): delay 30 ms.
+  est.OnAppReceive(1500, Ms(30), ReceiverInfo(4));
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_EQ(est.latest_delay().ToMillis(), 30);
+  // App reads to 2500 at t=35: the 2000@0 record is consumed; 4000@10 covers:
+  // delay 25 ms.
+  est.OnAppReceive(2500, Ms(35), ReceiverInfo(4));
+  EXPECT_EQ(est.latest_delay().ToMillis(), 25);
+  EXPECT_EQ(est.pending_records(), 1u);
+}
+
+TEST(ReceiverEstimatorTest, NoEstimateWhenAllRecordsConsumed) {
+  ReceiverDelayEstimator est;
+  est.OnTcpInfoSample(ReceiverInfo(1), Ms(0));
+  est.OnAppReceive(5000, Ms(10), ReceiverInfo(1));  // read beyond all records
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_EQ(est.pending_records(), 0u);
+}
+
+TEST(TrackerTest, PollsAtConfiguredPeriod) {
+  PathConfig path;
+  Testbed bed(1, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  TcpInfoTracker tracker(&bed.loop(), flow.sender, TimeDelta::FromMillis(10));
+  tracker.Start();
+  bed.loop().RunUntil(SimTime::FromNanos(1'005'000'000));
+  EXPECT_NEAR(static_cast<double>(tracker.samples_taken()), 100.0, 2.0);
+  tracker.Stop();
+  uint64_t frozen = tracker.samples_taken();
+  bed.loop().RunUntil(SimTime::FromNanos(2'000'000'000));
+  EXPECT_EQ(tracker.samples_taken(), frozen);
+}
+
+TEST(TrackerTest, ThroughputTracksAckedBytes) {
+  PathConfig path;
+  path.rate = DataRate::Mbps(10);
+  Testbed bed(2, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  TcpInfoTracker tracker(&bed.loop(), flow.sender);
+  tracker.Start();
+  // Saturating sender + reader.
+  flow.sender->SetEstablishedCallback([&] { flow.sender->Write(1 << 24); });
+  flow.sender->SetWritableCallback([&] { flow.sender->Write(1 << 24); });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(1 << 20) > 0) {
+    }
+  });
+  bed.loop().RunUntil(SimTime::FromNanos(15'000'000'000LL));
+  EXPECT_NEAR(tracker.throughput().ToMbps(), 9.6, 1.0);
+  EXPECT_GT(tracker.latest_info().tcpi_bytes_acked, 10'000'000u);
+}
+
+TEST(TrackerTest, SharedPageMatchesGetTcpInfo) {
+  PathConfig path;
+  Testbed bed(4, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  flow.sender->SetEstablishedCallback([&] { flow.sender->Write(100000); });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(1 << 20) > 0) {
+    }
+  });
+  for (int step = 1; step <= 20; ++step) {
+    bed.loop().RunUntil(SimTime::FromNanos(static_cast<int64_t>(step) * 100'000'000));
+    TcpInfoData a = flow.sender->GetTcpInfo();
+    const TcpInfoData& b = flow.sender->SharedInfoPage();
+    EXPECT_EQ(a.tcpi_bytes_acked, b.tcpi_bytes_acked);
+    EXPECT_EQ(a.tcpi_unacked, b.tcpi_unacked);
+    EXPECT_EQ(a.tcpi_snd_cwnd, b.tcpi_snd_cwnd);
+    EXPECT_EQ(a.tcpi_segs_in, b.tcpi_segs_in);
+    EXPECT_EQ(a.tcpi_rtt_us, b.tcpi_rtt_us);
+  }
+  // Repeated reads without traffic return the same cached page.
+  const TcpInfoData* p1 = &flow.sender->SharedInfoPage();
+  const TcpInfoData* p2 = &flow.sender->SharedInfoPage();
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(TrackerTest, SharedPageModeTracksEqually) {
+  PathConfig path;
+  Testbed bed(5, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  TcpInfoTracker tracker(&bed.loop(), flow.sender);
+  tracker.set_use_shared_page(true);
+  tracker.Start();
+  flow.sender->SetEstablishedCallback([&] { flow.sender->Write(1 << 22); });
+  flow.sender->SetWritableCallback([&] { flow.sender->Write(1 << 22); });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(1 << 20) > 0) {
+    }
+  });
+  bed.loop().RunUntil(SimTime::FromNanos(10'000'000'000LL));
+  EXPECT_NEAR(tracker.throughput().ToMbps(), 9.6, 1.0);
+  EXPECT_GT(tracker.latest_info().tcpi_bytes_acked, 5'000'000u);
+}
+
+TEST(TrackerTest, FeedsBothEstimators) {
+  PathConfig path;
+  Testbed bed(3, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  SenderDelayEstimator snd;
+  ReceiverDelayEstimator rcv;
+  TcpInfoTracker snd_tracker(&bed.loop(), flow.sender);
+  TcpInfoTracker rcv_tracker(&bed.loop(), flow.receiver);
+  snd_tracker.set_sender_estimator(&snd);
+  rcv_tracker.set_receiver_estimator(&rcv);
+  snd_tracker.Start();
+  rcv_tracker.Start();
+  flow.sender->SetEstablishedCallback([&] {
+    size_t w = flow.sender->Write(200000);
+    snd.OnAppSend(flow.sender->app_bytes_written(), bed.loop().now());
+    (void)w;
+  });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(1 << 20) > 0) {
+    }
+    rcv.OnAppReceive(flow.receiver->app_bytes_read(), bed.loop().now(),
+                     rcv_tracker.latest_info());
+  });
+  bed.loop().RunUntil(SimTime::FromNanos(10'000'000'000LL));
+  EXPECT_TRUE(snd.has_estimate());
+  EXPECT_TRUE(rcv.has_estimate());
+  EXPECT_GE(snd.latest_delay(), TimeDelta::Zero());
+}
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,175 @@
+// Unit tests for the discrete-event loop and periodic timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/evloop/event_loop.h"
+
+namespace element {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(SimTime::FromNanos(300), [&] { order.push_back(3); });
+  loop.ScheduleAt(SimTime::FromNanos(100), [&] { order.push_back(1); });
+  loop.ScheduleAt(SimTime::FromNanos(200), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().nanos(), 300);
+}
+
+TEST(EventLoopTest, FifoAmongEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(SimTime::FromNanos(50), [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  SimTime fired;
+  loop.ScheduleAfter(TimeDelta::FromMillis(10), [&] {
+    loop.ScheduleAfter(TimeDelta::FromMillis(5), [&] { fired = loop.now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(fired.nanos(), 15'000'000);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  auto id = loop.ScheduleAfter(TimeDelta::FromMillis(1), [&] { ran = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.processed_events(), 0u);
+}
+
+TEST(EventLoopTest, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  loop.Cancel(12345);  // must not crash
+  bool ran = false;
+  loop.ScheduleAfter(TimeDelta::Zero(), [&] { ran = true; });
+  loop.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(SimTime::FromNanos(100), [&] { ++count; });
+  loop.ScheduleAt(SimTime::FromNanos(900), [&] { ++count; });
+  loop.RunUntil(SimTime::FromNanos(500));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now().nanos(), 500);
+  loop.RunUntil(SimTime::FromNanos(1000));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoopTest, EventScheduledInPastRunsNow) {
+  EventLoop loop;
+  loop.ScheduleAfter(TimeDelta::FromMillis(10), [&] {
+    // Scheduling "in the past" clamps to now rather than going backwards.
+    loop.ScheduleAt(SimTime::Zero(), [&] { EXPECT_EQ(loop.now().nanos(), 10'000'000); });
+  });
+  loop.Run();
+}
+
+TEST(EventLoopTest, StopHaltsProcessing) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(SimTime::FromNanos(1), [&] {
+    ++count;
+    loop.Stop();
+  });
+  loop.ScheduleAt(SimTime::FromNanos(2), [&] { ++count; });
+  loop.Run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      loop.ScheduleAfter(TimeDelta::FromNanos(1), recurse);
+    }
+  };
+  loop.ScheduleAfter(TimeDelta::Zero(), recurse);
+  loop.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.processed_events(), 10u);
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  EventLoop loop;
+  std::vector<int64_t> fire_times;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(10),
+                      [&] { fire_times.push_back(loop.now().nanos()); });
+  timer.Start();
+  loop.RunUntil(SimTime::FromNanos(35'000'000));
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_EQ(fire_times[0], 10'000'000);
+  EXPECT_EQ(fire_times[1], 20'000'000);
+  EXPECT_EQ(fire_times[2], 30'000'000);
+}
+
+TEST(PeriodicTimerTest, StopCeasesFiring) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(1), [&] {
+    if (++count == 3) {
+      timer.Stop();
+    }
+  });
+  timer.Start();
+  loop.RunUntil(SimTime::FromNanos(100'000'000));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, DoubleStartIsIdempotent) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(1), [&] { ++count; });
+  timer.Start();
+  timer.Start();
+  loop.RunUntil(SimTime::FromNanos(5'500'000));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicTimerTest, DestructorCancels) {
+  EventLoop loop;
+  int count = 0;
+  {
+    PeriodicTimer timer(&loop, TimeDelta::FromMillis(1), [&] { ++count; });
+    timer.Start();
+  }
+  loop.RunUntil(SimTime::FromNanos(10'000'000));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTimerTest, CallbackMayChangePeriod) {
+  EventLoop loop;
+  std::vector<int64_t> times;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(10), [&] {
+    times.push_back(loop.now().nanos());
+    timer.set_period(TimeDelta::FromMillis(20));
+  });
+  timer.Start();
+  loop.RunUntil(SimTime::FromNanos(60'000'000));
+  // First at 10ms; then re-armed with the *old* period before the callback,
+  // so second at 20ms, subsequent every 20ms.
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_EQ(times[0], 10'000'000);
+  EXPECT_EQ(times[1], 20'000'000);
+  EXPECT_EQ(times[2], 40'000'000);
+}
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,221 @@
+// Tests for link models, the rate-serializing Pipe, and the DuplexPath demux.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/netsim/link_model.h"
+#include "src/netsim/pfifo_fast.h"
+#include "src/netsim/pipe.h"
+
+namespace element {
+namespace {
+
+class CollectorSink : public PacketSink {
+ public:
+  explicit CollectorSink(EventLoop* loop) : loop_(loop) {}
+  void Deliver(Packet pkt) override {
+    arrival_times.push_back(loop_->now());
+    packets.push_back(std::move(pkt));
+  }
+  std::vector<SimTime> arrival_times;
+  std::vector<Packet> packets;
+
+ private:
+  EventLoop* loop_;
+};
+
+Packet MakePacket(uint32_t size, uint64_t flow = 1) {
+  Packet p;
+  p.flow_id = flow;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(FixedLinkModelTest, RateAndDelay) {
+  FixedLinkModel link(DataRate::Mbps(8), TimeDelta::FromMillis(10));
+  EXPECT_DOUBLE_EQ(link.RateAt(SimTime::Zero()).ToMbps(), 8.0);
+  EXPECT_EQ(link.PropagationDelay().ToMillis(), 10);
+  Rng rng(1);
+  EXPECT_FALSE(link.DropOnWire(rng, SimTime::Zero()));
+}
+
+TEST(FixedLinkModelTest, LossProbability) {
+  FixedLinkModel link(DataRate::Mbps(8), TimeDelta::Zero(), 0.5);
+  Rng rng(42);
+  int drops = 0;
+  for (int i = 0; i < 10000; ++i) {
+    drops += link.DropOnWire(rng, SimTime::Zero());
+  }
+  EXPECT_NEAR(drops / 10000.0, 0.5, 0.03);
+}
+
+TEST(SteppedLinkModelTest, SwitchesOnSchedule) {
+  std::vector<SteppedLinkModel::Step> steps = {
+      {TimeDelta::FromSecondsInt(20), DataRate::Mbps(10)},
+      {TimeDelta::FromSecondsInt(20), DataRate::Mbps(50)},
+  };
+  SteppedLinkModel link(steps, TimeDelta::FromMillis(5));
+  EXPECT_DOUBLE_EQ(link.RateAt(SimTime::FromNanos(1'000'000'000)).ToMbps(), 10.0);
+  EXPECT_DOUBLE_EQ(link.RateAt(SimTime::FromNanos(25'000'000'000LL)).ToMbps(), 50.0);
+  // Wraps around after one full cycle.
+  EXPECT_DOUBLE_EQ(link.RateAt(SimTime::FromNanos(41'000'000'000LL)).ToMbps(), 10.0);
+}
+
+TEST(WifiLinkModelTest, RateStaysWithinLadder) {
+  WifiLinkModel link(Rng(3), DataRate::Mbps(60));
+  for (int s = 0; s < 600; ++s) {
+    double mbps = link.RateAt(SimTime::FromNanos(int64_t(s) * 100'000'000)).ToMbps();
+    EXPECT_GE(mbps, 60.0 * 0.35 - 1e-9);
+    EXPECT_LE(mbps, 60.0 * 1.3 + 1e-9);
+  }
+}
+
+TEST(LteLinkModelTest, RateBoundedByClamp) {
+  LteLinkModel link(Rng(4), DataRate::Mbps(25));
+  for (int s = 0; s < 600; ++s) {
+    double mbps = link.RateAt(SimTime::FromNanos(int64_t(s) * 100'000'000)).ToMbps();
+    EXPECT_GE(mbps, 25.0 * 0.4 - 1e-9);
+    EXPECT_LE(mbps, 25.0 * 1.6 + 1e-9);
+  }
+}
+
+TEST(PipeTest, SerializationAndPropagationTiming) {
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  Pipe pipe(&loop, Rng(1), std::make_unique<PfifoFast>(100),
+            std::make_unique<FixedLinkModel>(DataRate::Mbps(10), TimeDelta::FromMillis(25)),
+            &sink);
+  // 1250 bytes at 10 Mbps = 1 ms serialization + 25 ms propagation.
+  pipe.Send(MakePacket(1250));
+  loop.Run();
+  ASSERT_EQ(sink.arrival_times.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0].nanos(), 26'000'000);
+}
+
+TEST(PipeTest, BackToBackPacketsSpacedBySerialization) {
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  Pipe pipe(&loop, Rng(1), std::make_unique<PfifoFast>(100),
+            std::make_unique<FixedLinkModel>(DataRate::Mbps(10), TimeDelta::Zero()), &sink);
+  for (int i = 0; i < 5; ++i) {
+    pipe.Send(MakePacket(1250));
+  }
+  loop.Run();
+  ASSERT_EQ(sink.arrival_times.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.arrival_times[static_cast<size_t>(i)].nanos(), (i + 1) * 1'000'000);
+  }
+}
+
+TEST(PipeTest, DeliveryOrderPreservedUnderJitter) {
+  // A jittery link must not reorder packets.
+  class JitteryLink : public FixedLinkModel {
+   public:
+    JitteryLink() : FixedLinkModel(DataRate::Mbps(100), TimeDelta::FromMillis(5)) {}
+    TimeDelta JitterFor(Rng& rng) override {
+      return TimeDelta::FromSeconds(rng.Exponential(0.002));
+    }
+  };
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  Pipe pipe(&loop, Rng(7), std::make_unique<PfifoFast>(1000),
+            std::make_unique<JitteryLink>(), &sink);
+  for (uint64_t i = 0; i < 200; ++i) {
+    Packet p = MakePacket(1500);
+    p.flow_id = i;
+    pipe.Send(std::move(p));
+  }
+  loop.Run();
+  ASSERT_EQ(sink.packets.size(), 200u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(sink.packets[i].flow_id, i);
+    if (i > 0) {
+      EXPECT_GE(sink.arrival_times[i], sink.arrival_times[i - 1]);
+    }
+  }
+}
+
+TEST(PipeTest, WireLossCounted) {
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  Pipe pipe(&loop, Rng(5), std::make_unique<PfifoFast>(10000),
+            std::make_unique<FixedLinkModel>(DataRate::Mbps(100), TimeDelta::Zero(), 0.3),
+            &sink);
+  for (int i = 0; i < 2000; ++i) {
+    pipe.Send(MakePacket(1500));
+  }
+  loop.Run();
+  EXPECT_NEAR(static_cast<double>(pipe.stats().wire_dropped_packets) / 2000.0, 0.3, 0.05);
+  EXPECT_EQ(sink.packets.size() + pipe.stats().wire_dropped_packets, 2000u);
+}
+
+TEST(PipeTest, BacklogDelayReflectsQueue) {
+  EventLoop loop;
+  CollectorSink sink(&loop);
+  Pipe pipe(&loop, Rng(1), std::make_unique<PfifoFast>(1000),
+            std::make_unique<FixedLinkModel>(DataRate::Mbps(10), TimeDelta::Zero()), &sink);
+  for (int i = 0; i < 11; ++i) {
+    pipe.Send(MakePacket(1250));
+  }
+  // One packet is in transmission; 10 are queued: 10 * 1 ms.
+  EXPECT_NEAR(pipe.CurrentBacklogDelay().ToMillisF(), 10.0, 0.01);
+}
+
+TEST(DemuxTest, RoutesByFlowId) {
+  EventLoop loop;
+  CollectorSink a(&loop);
+  CollectorSink b(&loop);
+  Demux demux;
+  demux.Register(1, &a);
+  demux.Register(2, &b);
+  demux.Deliver(MakePacket(100, 1));
+  demux.Deliver(MakePacket(100, 2));
+  demux.Deliver(MakePacket(100, 3));  // unroutable
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(demux.unroutable_packets(), 1u);
+  demux.Unregister(2);
+  demux.Deliver(MakePacket(100, 2));
+  EXPECT_EQ(demux.unroutable_packets(), 2u);
+}
+
+TEST(DuplexPathTest, ForwardAndReverseIndependent) {
+  EventLoop loop;
+  Rng rng(9);
+  DuplexPath path(&loop, &rng, std::make_unique<PfifoFast>(100),
+                  std::make_unique<FixedLinkModel>(DataRate::Mbps(10), TimeDelta::FromMillis(5)),
+                  std::make_unique<PfifoFast>(100),
+                  std::make_unique<FixedLinkModel>(DataRate::Mbps(50), TimeDelta::FromMillis(5)));
+  CollectorSink at_server(&loop);
+  CollectorSink at_client(&loop);
+  uint64_t flow = path.AllocateFlowId();
+  path.server_demux().Register(flow, &at_server);
+  path.client_demux().Register(flow, &at_client);
+  Packet fwd = MakePacket(1250, flow);
+  path.forward().Send(std::move(fwd));
+  Packet rev = MakePacket(1250, flow);
+  path.reverse().Send(std::move(rev));
+  loop.Run();
+  EXPECT_EQ(at_server.packets.size(), 1u);
+  EXPECT_EQ(at_client.packets.size(), 1u);
+  // Forward at 10 Mbps: 1 ms + 5 ms; reverse at 50 Mbps: 0.2 ms + 5 ms.
+  EXPECT_EQ(at_server.arrival_times[0].nanos(), 6'000'000);
+  EXPECT_EQ(at_client.arrival_times[0].nanos(), 5'200'000);
+}
+
+TEST(DuplexPathTest, FlowIdsUnique) {
+  EventLoop loop;
+  Rng rng(9);
+  DuplexPath path(&loop, &rng, std::make_unique<PfifoFast>(10),
+                  std::make_unique<FixedLinkModel>(DataRate::Mbps(1), TimeDelta::Zero()),
+                  std::make_unique<PfifoFast>(10),
+                  std::make_unique<FixedLinkModel>(DataRate::Mbps(1), TimeDelta::Zero()));
+  uint64_t a = path.AllocateFlowId();
+  uint64_t b = path.AllocateFlowId();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace element

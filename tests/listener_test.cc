@@ -1,0 +1,129 @@
+// Tests for TcpListener: BSD-accept semantics over the simulated path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/tcpsim/tcp_listener.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+namespace {
+
+SimTime Sec(double s) { return SimTime::FromNanos(static_cast<int64_t>(s * 1e9)); }
+
+class ListenerTest : public ::testing::Test {
+ protected:
+  ListenerTest() : bed_(1, PathConfig{}) {
+    listener_ = std::make_unique<TcpListener>(&bed_.loop(), Rng(2), TcpSocket::Config{},
+                                              &bed_.path().reverse(),
+                                              &bed_.path().server_demux());
+  }
+  Testbed bed_;
+  std::unique_ptr<TcpListener> listener_;
+};
+
+TEST_F(ListenerTest, AcceptsMultipleClients) {
+  std::vector<TcpSocket*> accepted;
+  listener_->SetAcceptCallback([&](TcpSocket* s) { accepted.push_back(s); });
+  TcpSocket* c1 = bed_.CreateClient(TcpSocket::Config{});
+  TcpSocket* c2 = bed_.CreateClient(TcpSocket::Config{});
+  TcpSocket* c3 = bed_.CreateClient(TcpSocket::Config{});
+  bed_.loop().RunUntil(Sec(1.0));
+  ASSERT_EQ(accepted.size(), 3u);
+  EXPECT_TRUE(c1->established());
+  EXPECT_TRUE(c2->established());
+  EXPECT_TRUE(c3->established());
+  for (TcpSocket* s : accepted) {
+    EXPECT_TRUE(s->established());
+  }
+  // Flow ids line up pairwise.
+  EXPECT_EQ(accepted[0]->flow_id(), c1->flow_id());
+  EXPECT_EQ(accepted[2]->flow_id(), c3->flow_id());
+}
+
+TEST_F(ListenerTest, DataFlowsOnAcceptedConnections) {
+  uint64_t total = 0;
+  listener_->SetAcceptCallback([&](TcpSocket* s) {
+    s->SetReadableCallback([&total, s] {
+      size_t n;
+      while ((n = s->Read(1 << 20)) > 0) {
+        total += n;
+      }
+    });
+  });
+  TcpSocket* c1 = bed_.CreateClient(TcpSocket::Config{});
+  TcpSocket* c2 = bed_.CreateClient(TcpSocket::Config{});
+  c1->SetEstablishedCallback([&] { c1->Write(50000); });
+  c2->SetEstablishedCallback([&] { c2->Write(60000); });  // fits the initial sndbuf
+  bed_.loop().RunUntil(Sec(5.0));
+  EXPECT_EQ(total, 110000u);
+}
+
+TEST_F(ListenerTest, EchoServerOverListener) {
+  // Accepted sockets echo everything back on the same connection.
+  listener_->SetAcceptCallback([&](TcpSocket* s) {
+    s->SetReadableCallback([s] {
+      size_t n;
+      while ((n = s->Read(1 << 20)) > 0) {
+        s->Write(n);
+      }
+    });
+  });
+  TcpSocket* client = bed_.CreateClient(TcpSocket::Config{});
+  uint64_t echoed = 0;
+  client->SetReadableCallback([&] {
+    size_t n;
+    while ((n = client->Read(1 << 20)) > 0) {
+      echoed += n;
+    }
+  });
+  client->SetEstablishedCallback([&] { client->Write(30000); });
+  bed_.loop().RunUntil(Sec(5.0));
+  EXPECT_EQ(echoed, 30000u);
+}
+
+TEST_F(ListenerTest, SaturatingFlowsThroughListenerShareBottleneck) {
+  std::vector<std::unique_ptr<SinkApp>> readers;
+  listener_->SetAcceptCallback([&](TcpSocket* s) {
+    readers.push_back(std::make_unique<SinkApp>(s));
+    readers.back()->Start();
+  });
+  std::vector<std::unique_ptr<RawTcpSink>> sinks;
+  std::vector<std::unique_ptr<IperfApp>> apps;
+  std::vector<TcpSocket*> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(bed_.CreateClient(TcpSocket::Config{}));
+    sinks.push_back(std::make_unique<RawTcpSink>(clients.back()));
+    apps.push_back(std::make_unique<IperfApp>(&bed_.loop(), sinks.back().get()));
+    apps.back()->Start();
+  }
+  bed_.loop().RunUntil(Sec(20.0));
+  ASSERT_EQ(listener_->accepted(), 3u);
+  double total = 0;
+  for (const auto& conn : listener_->connections()) {
+    total += RateOver(static_cast<int64_t>(conn->app_bytes_read()),
+                      TimeDelta::FromSecondsInt(20))
+                 .ToMbps();
+  }
+  EXPECT_GT(total, 8.0);  // ~10 Mbps bottleneck shared by 3 accepted flows
+}
+
+TEST_F(ListenerTest, StrayNonSynPacketsIgnored) {
+  // A data segment for an unknown flow must not create a connection.
+  TcpSegmentPayload seg;
+  seg.seq = 0;
+  seg.payload_bytes = 100;
+  Packet pkt;
+  pkt.flow_id = 424242;
+  pkt.size_bytes = 152;
+  pkt.payload = std::make_shared<TcpSegmentPayload>(seg);
+  bed_.path().server_demux().Deliver(std::move(pkt));
+  EXPECT_EQ(listener_->accepted(), 0u);
+}
+
+}  // namespace
+}  // namespace element

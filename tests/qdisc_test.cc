@@ -1,0 +1,394 @@
+// Tests for the queueing disciplines: pfifo_fast, CoDel, FQ-CoDel, PIE —
+// including the conservation invariant (enqueued = dequeued + dropped +
+// queued) checked property-style across all disciplines.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/netsim/codel.h"
+#include "src/netsim/fq_codel.h"
+#include "src/netsim/pfifo_fast.h"
+#include "src/netsim/pie.h"
+#include "src/netsim/red.h"
+
+namespace element {
+namespace {
+
+Packet MakePacket(uint64_t flow, uint32_t size = 1500, uint32_t band = 1) {
+  Packet p;
+  p.flow_id = flow;
+  p.size_bytes = size;
+  p.priority_band = band;
+  return p;
+}
+
+SimTime At(int64_t ms) { return SimTime::FromNanos(ms * 1'000'000); }
+
+TEST(PfifoFastTest, FifoOrderWithinBand) {
+  PfifoFast q(10);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Enqueue(MakePacket(i), At(0)));
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto p = q.Dequeue(At(1));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->flow_id, i);
+  }
+  EXPECT_FALSE(q.Dequeue(At(1)).has_value());
+}
+
+TEST(PfifoFastTest, StrictPriorityAcrossBands) {
+  PfifoFast q(10);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1, 100, /*band=*/2), At(0)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(2, 100, /*band=*/0), At(0)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(3, 100, /*band=*/1), At(0)));
+  EXPECT_EQ(q.Dequeue(At(0))->flow_id, 2u);  // band 0 first
+  EXPECT_EQ(q.Dequeue(At(0))->flow_id, 3u);  // then band 1
+  EXPECT_EQ(q.Dequeue(At(0))->flow_id, 1u);  // then band 2
+}
+
+TEST(PfifoFastTest, TailDropAtLimit) {
+  PfifoFast q(3);
+  EXPECT_TRUE(q.Enqueue(MakePacket(1), At(0)));
+  EXPECT_TRUE(q.Enqueue(MakePacket(2), At(0)));
+  EXPECT_TRUE(q.Enqueue(MakePacket(3), At(0)));
+  EXPECT_FALSE(q.Enqueue(MakePacket(4), At(0)));
+  EXPECT_EQ(q.stats().dropped_packets, 1u);
+  EXPECT_EQ(q.packet_count(), 3u);
+}
+
+TEST(PfifoFastTest, ByteCountTracksContents) {
+  PfifoFast q(10);
+  q.Enqueue(MakePacket(1, 1000), At(0));
+  q.Enqueue(MakePacket(2, 500), At(0));
+  EXPECT_EQ(q.byte_count(), 1500);
+  q.Dequeue(At(0));
+  EXPECT_EQ(q.byte_count(), 500);
+}
+
+TEST(CoDelTest, NoDropsWhenSojournBelowTarget) {
+  CoDel q;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(q.Enqueue(MakePacket(1), At(round)));
+    ASSERT_TRUE(q.Enqueue(MakePacket(1), At(round)));
+    // Dequeued 2 ms later: sojourn well below the 5 ms target.
+    EXPECT_TRUE(q.Dequeue(At(round + 2)).has_value());
+    EXPECT_TRUE(q.Dequeue(At(round + 2)).has_value());
+  }
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+TEST(CoDelTest, DropsAfterPersistentlyHighSojourn) {
+  CoDel q;
+  // Feed a standing queue: everything dequeues 50 ms after enqueue (>> 5 ms
+  // target) for well over one 100 ms interval.
+  int64_t t = 0;
+  uint64_t drops_before = q.stats().dropped_packets;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(q.Enqueue(MakePacket(1), At(t)));
+    ASSERT_TRUE(q.Enqueue(MakePacket(1), At(t)));
+    q.Dequeue(At(t + 50));
+    t += 5;
+  }
+  EXPECT_GT(q.stats().dropped_packets, drops_before + 3);
+}
+
+TEST(CoDelTest, EcnMarksInsteadOfDropping) {
+  CoDel q;
+  q.set_ecn_enabled(true);
+  int64_t t = 0;
+  int marked = 0;
+  for (int i = 0; i < 400; ++i) {
+    Packet p = MakePacket(1);
+    p.ecn_capable = true;
+    ASSERT_TRUE(q.Enqueue(std::move(p), At(t)));
+    Packet filler = MakePacket(1);
+    filler.ecn_capable = true;
+    ASSERT_TRUE(q.Enqueue(std::move(filler), At(t)));
+    auto out = q.Dequeue(At(t + 50));
+    if (out.has_value() && out->ecn_marked) {
+      ++marked;
+    }
+    t += 5;
+  }
+  EXPECT_GT(marked, 3);
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+  EXPECT_EQ(q.stats().ecn_marked_packets, static_cast<uint64_t>(marked));
+}
+
+TEST(CoDelTest, ControlLawAcceleratesDrops) {
+  CoDelParams params;
+  CoDelState state(params);
+  // Persistently above target with a large standing queue.
+  SimTime t = SimTime::Zero();
+  int drops = 0;
+  SimTime first_drop;
+  SimTime fifth_drop;
+  for (int i = 0; i < 3000; ++i) {
+    if (state.ShouldDrop(TimeDelta::FromMillis(50), t, 100000)) {
+      ++drops;
+      if (drops == 1) {
+        first_drop = t;
+      }
+      if (drops == 5) {
+        fifth_drop = t;
+        break;
+      }
+    }
+    t += TimeDelta::FromMillis(1);
+  }
+  ASSERT_EQ(drops, 5);
+  // Interval/sqrt(count) spacing: the gap from drop 1 to 5 must be well under
+  // 4 full intervals.
+  EXPECT_LT((fifth_drop - first_drop).ToMillis(), 4 * 100);
+}
+
+TEST(FqCoDelTest, IsolatesFlowsRoundRobin) {
+  FqCoDelParams params;
+  FqCoDel q(params);
+  // Flow 1 floods; flow 2 sends a little. DRR must interleave them.
+  for (int i = 0; i < 50; ++i) {
+    q.Enqueue(MakePacket(1, 1500), At(0));
+  }
+  for (int i = 0; i < 5; ++i) {
+    q.Enqueue(MakePacket(2, 1500), At(0));
+  }
+  int flow2_in_first_10 = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto p = q.Dequeue(At(1));
+    ASSERT_TRUE(p.has_value());
+    if (p->flow_id == 2) {
+      ++flow2_in_first_10;
+    }
+  }
+  EXPECT_GE(flow2_in_first_10, 4);
+}
+
+TEST(FqCoDelTest, DrainsCompletely) {
+  FqCoDel q;
+  for (uint64_t f = 0; f < 8; ++f) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(q.Enqueue(MakePacket(f), At(0)));
+    }
+  }
+  size_t dequeued = 0;
+  while (q.Dequeue(At(1)).has_value()) {
+    ++dequeued;
+  }
+  EXPECT_EQ(dequeued, 80u);
+  EXPECT_EQ(q.packet_count(), 0u);
+  EXPECT_EQ(q.byte_count(), 0);
+}
+
+TEST(FqCoDelTest, OverLimitDropsFromFattestFlow) {
+  FqCoDelParams params;
+  params.limit_packets = 20;
+  FqCoDel q(params);
+  for (int i = 0; i < 18; ++i) {
+    q.Enqueue(MakePacket(1, 1500), At(0));
+  }
+  for (int i = 0; i < 4; ++i) {
+    q.Enqueue(MakePacket(2, 300), At(0));
+  }
+  // The fat flow must have absorbed the drops.
+  EXPECT_GT(q.stats().dropped_packets, 0u);
+  size_t flow2 = 0;
+  while (auto p = q.Dequeue(At(1))) {
+    if (p->flow_id == 2) {
+      ++flow2;
+    }
+  }
+  EXPECT_EQ(flow2, 4u);
+}
+
+TEST(PieTest, NoDropsOnLightLoad) {
+  Pie q(Rng(1));
+  int64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.Enqueue(MakePacket(1), At(t)));
+    q.Dequeue(At(t + 1));  // 1 ms sojourn << 15 ms target
+    t += 2;
+  }
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+  EXPECT_LT(q.drop_probability(), 0.01);
+}
+
+TEST(PieTest, DropProbabilityRisesUnderStandingQueue) {
+  PieParams params;
+  params.limit_packets = 100000;
+  Pie q(params, Rng(2));
+  // Arrivals at 2x the departure rate build a standing queue.
+  int64_t t_us = 0;
+  int64_t next_deq_us = 0;
+  for (int i = 0; i < 20000; ++i) {
+    q.Enqueue(MakePacket(1), SimTime::FromNanos(t_us * 1000));
+    t_us += 500;  // 2000 pkt/s arrivals
+    while (next_deq_us < t_us) {
+      q.Dequeue(SimTime::FromNanos(next_deq_us * 1000));  // 1000 pkt/s service
+      next_deq_us += 1000;
+    }
+  }
+  EXPECT_GT(q.drop_probability(), 0.01);
+  EXPECT_GT(q.stats().dropped_packets, 50u);
+}
+
+TEST(PieTest, BurstAllowancePermitsInitialBurst) {
+  Pie q(Rng(3));
+  // A short burst right at start must pass untouched (150 ms allowance).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(q.Enqueue(MakePacket(1), At(i / 10)));
+  }
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+TEST(RedTest, NoEarlyDropsBelowMinThreshold) {
+  RedParams params;
+  params.min_threshold_packets = 10;
+  Red q(params, Rng(5));
+  // Keep the standing queue at ~5 packets: below min_th, never drops.
+  int64_t t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(q.Enqueue(MakePacket(1), At(t)));
+    }
+    for (int k = 0; k < 5; ++k) {
+      q.Dequeue(At(t + 1));
+    }
+    t += 2;
+  }
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+TEST(RedTest, EarlyDropProbabilityGrowsWithAverageQueue) {
+  RedParams params;
+  params.min_threshold_packets = 10;
+  params.max_threshold_packets = 40;
+  params.limit_packets = 100000;
+  Red q(params, Rng(6));
+  // Hold a standing queue of ~30 packets (between min and max thresholds):
+  // top the queue back up every iteration so early drops do not drain it.
+  int64_t t = 0;
+  uint64_t offered = 0;
+  for (int i = 0; i < 20000; ++i) {
+    while (q.packet_count() < 30) {
+      q.Enqueue(MakePacket(1), At(t));
+      ++offered;
+    }
+    q.Dequeue(At(t + 1));
+    t += 2;
+  }
+  // Early drops happened, at a moderate rate (max_p 0.1 ballpark).
+  double drop_rate = static_cast<double>(q.stats().dropped_packets) / offered;
+  EXPECT_GT(drop_rate, 0.01);
+  EXPECT_LT(drop_rate, 0.35);
+  EXPECT_GT(q.average_queue(), 10.0);
+}
+
+TEST(RedTest, IdleDecayShrinksAverage) {
+  RedParams params;
+  Red q(params, Rng(7));
+  int64_t t = 0;
+  for (int i = 0; i < 50; ++i) {
+    q.Enqueue(MakePacket(1), At(t));
+  }
+  while (q.Dequeue(At(t)).has_value()) {
+  }
+  double avg_before = q.average_queue();
+  // A long idle period must decay the average toward zero.
+  q.Enqueue(MakePacket(1), At(t + 10000));
+  EXPECT_LT(q.average_queue(), avg_before * 0.5);
+}
+
+TEST(RedTest, EcnMarksInsteadOfDrops) {
+  RedParams params;
+  params.min_threshold_packets = 5;
+  params.max_threshold_packets = 20;
+  params.limit_packets = 100000;
+  Red q(params, Rng(8));
+  q.set_ecn_enabled(true);
+  int64_t t = 0;
+  for (int i = 0; i < 15; ++i) {
+    Packet p = MakePacket(1);
+    p.ecn_capable = true;
+    q.Enqueue(std::move(p), At(t));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    Packet p = MakePacket(1);
+    p.ecn_capable = true;
+    q.Enqueue(std::move(p), At(t));
+    q.Dequeue(At(t + 1));
+    t += 2;
+  }
+  EXPECT_GT(q.stats().ecn_marked_packets, 10u);
+  EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation property across all disciplines
+// ---------------------------------------------------------------------------
+
+class QdiscConservationTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Qdisc> Make() {
+    std::string name = GetParam();
+    if (name == "pfifo_fast") {
+      return std::make_unique<PfifoFast>(50);
+    }
+    if (name == "codel") {
+      CoDelParams p;
+      p.limit_packets = 50;
+      return std::make_unique<CoDel>(p);
+    }
+    if (name == "fq_codel") {
+      FqCoDelParams p;
+      p.limit_packets = 50;
+      return std::make_unique<FqCoDel>(p);
+    }
+    if (name == "pie") {
+      PieParams p;
+      p.limit_packets = 50;
+      return std::make_unique<Pie>(p, Rng(77));
+    }
+    RedParams p;
+    p.limit_packets = 50;
+    return std::make_unique<Red>(p, Rng(78));
+  }
+};
+
+TEST_P(QdiscConservationTest, EnqueuedEqualsDequeuedPlusDroppedPlusQueued) {
+  auto q = Make();
+  Rng rng(99);
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t dequeued = 0;
+  int64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.6)) {
+      ++offered;
+      if (q->Enqueue(MakePacket(rng.UniformInt(1, 5), 1500), At(t))) {
+        ++accepted;
+      }
+    }
+    if (rng.Bernoulli(0.5)) {
+      if (q->Dequeue(At(t + 1)).has_value()) {
+        ++dequeued;
+      }
+    }
+    t += 3;
+  }
+  const QdiscStats& s = q->stats();
+  // Every offered packet was either counted as enqueued or dropped.
+  EXPECT_EQ(s.enqueued_packets + (offered - accepted), offered);
+  // AQMs may drop after enqueue, so: enqueued = dequeued + internal drops + queued.
+  uint64_t internal_drops = s.dropped_packets - (offered - accepted);
+  EXPECT_EQ(s.enqueued_packets, s.dequeued_packets + internal_drops + q->packet_count());
+  EXPECT_EQ(s.dequeued_packets, dequeued);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQdiscs, QdiscConservationTest,
+                         ::testing::Values("pfifo_fast", "codel", "fq_codel", "pie", "red"));
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,174 @@
+// Tests for connection teardown: Close(), FIN delivery/EOF signalling, FIN
+// retransmission under loss, and half-close semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+namespace {
+
+SimTime Sec(double s) { return SimTime::FromNanos(static_cast<int64_t>(s * 1e9)); }
+
+TEST(TeardownTest, CloseDeliversEofAfterAllData) {
+  PathConfig path;
+  Testbed bed(1, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  bool eof = false;
+  SimTime eof_at;
+  flow.receiver->SetEofCallback([&] {
+    eof = true;
+    eof_at = bed.loop().now();
+  });
+  uint64_t total_read = 0;
+  flow.receiver->SetReadableCallback([&] {
+    size_t n;
+    while ((n = flow.receiver->Read(1 << 20)) > 0) {
+      total_read += n;
+    }
+  });
+  flow.sender->SetEstablishedCallback([&] {
+    flow.sender->Write(50000);
+    flow.sender->Close();
+  });
+  bed.loop().RunUntil(Sec(5.0));
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(total_read, 50000u);
+  EXPECT_TRUE(flow.sender->fin_acked());
+  EXPECT_TRUE(flow.receiver->peer_closed());
+  // EOF must not arrive before the data could possibly have (50 KB @ 10 Mbps
+  // is ~40 ms + handshake + propagation).
+  EXPECT_GT(eof_at.ToSeconds(), 0.08);
+}
+
+TEST(TeardownTest, WriteRejectedAfterClose) {
+  PathConfig path;
+  Testbed bed(2, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  bed.loop().RunUntil(Sec(1.0));
+  EXPECT_GT(flow.sender->Write(1000), 0u);
+  flow.sender->Close();
+  EXPECT_EQ(flow.sender->Write(1000), 0u);
+  EXPECT_TRUE(flow.sender->close_requested());
+}
+
+TEST(TeardownTest, FinRetransmittedUnderLoss) {
+  PathConfig path;
+  path.loss_probability = 0.3;  // heavy loss: the first FIN will likely die
+  Testbed bed(3, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  bool eof = false;
+  flow.receiver->SetEofCallback([&] { eof = true; });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(1 << 20) > 0) {
+    }
+  });
+  flow.sender->SetEstablishedCallback([&] {
+    flow.sender->Write(20000);
+    flow.sender->Close();
+  });
+  bed.loop().RunUntil(Sec(60.0));
+  EXPECT_TRUE(eof);
+  EXPECT_TRUE(flow.sender->fin_acked());
+}
+
+TEST(TeardownTest, HalfCloseLeavesReverseDirectionUsable) {
+  // Client closes its write side; the server can still send data back.
+  PathConfig path;
+  Testbed bed(4, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  TcpSocket* client = flow.sender;
+  TcpSocket* server = flow.receiver;
+  uint64_t server_got = 0;
+  bool server_eof = false;
+  server->SetReadableCallback([&] {
+    size_t n;
+    while ((n = server->Read(4096)) > 0) {
+      server_got += n;
+    }
+  });
+  server->SetEofCallback([&] {
+    server_eof = true;
+    server->Write(30000);  // respond after the client's half-close
+  });
+  uint64_t client_got = 0;
+  client->SetReadableCallback([&] {
+    size_t n;
+    while ((n = client->Read(1 << 20)) > 0) {
+      client_got += n;
+    }
+  });
+  client->SetEstablishedCallback([&] {
+    client->Write(100);
+    client->Close();
+  });
+  bed.loop().RunUntil(Sec(5.0));
+  EXPECT_TRUE(server_eof);
+  EXPECT_EQ(server_got, 100u);
+  EXPECT_EQ(client_got, 30000u);
+}
+
+TEST(TeardownTest, CloseWithLargePendingBufferFlushesFirst) {
+  PathConfig path;  // 10 Mbps: 2 MB takes ~1.7 s to flush
+  Testbed bed(5, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  SinkApp reader(flow.receiver);
+  reader.Start();
+  bool eof = false;
+  flow.receiver->SetEofCallback([&] { eof = true; });
+  uint64_t written = 0;
+  flow.sender->SetEstablishedCallback([&] {
+    written = flow.sender->Write(1 << 21);
+    flow.sender->Close();
+  });
+  bed.loop().RunUntil(Sec(30.0));
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(flow.receiver->app_bytes_read(), written);
+  // All data arrived before the EOF was signalled.
+  EXPECT_TRUE(flow.receiver->peer_closed());
+}
+
+TEST(TeardownTest, SimultaneousCloseBothSides) {
+  PathConfig path;
+  Testbed bed(6, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  bool eof_a = false;
+  bool eof_b = false;
+  flow.sender->SetEofCallback([&] { eof_a = true; });
+  flow.receiver->SetEofCallback([&] { eof_b = true; });
+  flow.sender->SetEstablishedCallback([&] {
+    flow.sender->Write(1000);
+    flow.sender->Close();
+    flow.receiver->Close();
+  });
+  flow.receiver->SetReadableCallback([&] {
+    while (flow.receiver->Read(4096) > 0) {
+    }
+  });
+  bed.loop().RunUntil(Sec(5.0));
+  EXPECT_TRUE(eof_a);
+  EXPECT_TRUE(eof_b);
+  EXPECT_TRUE(flow.sender->fin_acked());
+  EXPECT_TRUE(flow.receiver->fin_acked());
+}
+
+TEST(TeardownTest, ReadableBytesExcludesFinPhantom) {
+  PathConfig path;
+  Testbed bed(7, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  flow.sender->SetEstablishedCallback([&] {
+    flow.sender->Write(777);
+    flow.sender->Close();
+  });
+  bed.loop().RunUntil(Sec(3.0));
+  ASSERT_TRUE(flow.receiver->peer_closed());
+  EXPECT_EQ(flow.receiver->ReadableBytes(), 777u);
+  EXPECT_EQ(flow.receiver->Read(1 << 20), 777u);
+  EXPECT_EQ(flow.receiver->Read(1 << 20), 0u);
+  EXPECT_EQ(flow.receiver->GetTcpInfo().tcpi_bytes_received, 777u);
+}
+
+}  // namespace
+}  // namespace element

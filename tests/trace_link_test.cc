@@ -1,0 +1,140 @@
+// Tests for the trace-driven link model (CSV parsing, replay semantics,
+// synthetic cellular traces) and the path-delay estimator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/iperf_app.h"
+#include "src/element/byte_sink.h"
+#include "src/element/element_socket.h"
+#include "src/netsim/pfifo_fast.h"
+#include "src/netsim/pipe.h"
+#include "src/netsim/trace_link.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+namespace {
+
+SimTime Sec(double s) { return SimTime::FromNanos(static_cast<int64_t>(s * 1e9)); }
+
+TEST(TraceParseTest, ParsesCsvWithHeaderAndComments) {
+  std::string csv =
+      "t_seconds,mbps\n"
+      "# a comment\n"
+      "0,10\n"
+      "2.5,25\n"
+      "5,5\n";
+  auto trace = TraceLinkModel::ParseCsv(csv);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].at.nanos(), 0);
+  EXPECT_DOUBLE_EQ(trace[1].rate.ToMbps(), 25.0);
+  EXPECT_EQ(trace[2].at.nanos(), 5'000'000'000);
+}
+
+TEST(TraceParseTest, RejectsMalformedAndUnorderedInput) {
+  EXPECT_TRUE(TraceLinkModel::ParseCsv("0,10\nbogus line\n").empty());
+  EXPECT_TRUE(TraceLinkModel::ParseCsv("5,10\n1,20\n").empty());
+  EXPECT_TRUE(TraceLinkModel::ParseCsv("no commas here\n").empty());
+}
+
+TEST(TraceLinkTest, StepHoldAndLooping) {
+  std::vector<TracePoint> trace = {
+      {SimTime::Zero(), DataRate::Mbps(10)},
+      {Sec(1.0), DataRate::Mbps(20)},
+      {Sec(2.0), DataRate::Mbps(30)},
+  };
+  TraceLinkModel link(trace, TimeDelta::FromMillis(5));
+  EXPECT_DOUBLE_EQ(link.RateAt(Sec(0.5)).ToMbps(), 10.0);
+  EXPECT_DOUBLE_EQ(link.RateAt(Sec(1.5)).ToMbps(), 20.0);
+  // After the last point the trace loops (cycle = 2 s).
+  EXPECT_DOUBLE_EQ(link.RateAt(Sec(2.5)).ToMbps(), 10.0);
+  EXPECT_DOUBLE_EQ(link.RateAt(Sec(3.5)).ToMbps(), 20.0);
+}
+
+TEST(TraceLinkTest, SynthesizedCellularTraceIsBoundedAndVaries) {
+  Rng rng(42);
+  auto trace = TraceLinkModel::SynthesizeCellular(&rng, DataRate::Mbps(20), Sec(60.0) - SimTime::Zero());
+  ASSERT_GT(trace.size(), 500u);
+  double lo = 1e18;
+  double hi = 0;
+  for (const TracePoint& p : trace) {
+    lo = std::min(lo, p.rate.ToMbps());
+    hi = std::max(hi, p.rate.ToMbps());
+  }
+  // Clamped to ~exp(+/-1.4) of the mean.
+  EXPECT_GT(lo, 20.0 * 0.2);
+  EXPECT_LT(hi, 20.0 * 4.5);
+  EXPECT_GT(hi / lo, 1.5);  // it actually varies
+}
+
+TEST(TraceLinkTest, TcpRidesAReplayedTrace) {
+  // Drive a full TCP flow over a synthesized cellular trace via a hand-built
+  // path (Testbed has no trace LinkType; this is the power-user route).
+  EventLoop loop;
+  Rng rng(7);
+  Rng trace_rng(8);
+  auto trace = TraceLinkModel::SynthesizeCellular(&trace_rng, DataRate::Mbps(15),
+                                                  Sec(60.0) - SimTime::Zero());
+  DuplexPath path(&loop, &rng, std::make_unique<PfifoFast>(200),
+                  std::make_unique<TraceLinkModel>(trace, TimeDelta::FromMillis(25)),
+                  std::make_unique<PfifoFast>(1000),
+                  std::make_unique<FixedLinkModel>(DataRate::Gbps(1), TimeDelta::FromMillis(25)));
+  uint64_t flow_id = path.AllocateFlowId();
+  TcpSocket sender(&loop, rng.Fork(), TcpSocket::Config{}, flow_id, &path.forward(),
+                   &path.client_demux());
+  TcpSocket receiver(&loop, rng.Fork(), TcpSocket::Config{}, flow_id, &path.reverse(),
+                     &path.server_demux());
+  receiver.Listen();
+  sender.Connect();
+  RawTcpSink sink(&sender);
+  IperfApp app(&loop, &sink);
+  SinkApp reader(&receiver);
+  app.Start();
+  reader.Start();
+  loop.RunUntil(Sec(30.0));
+  double goodput =
+      RateOver(static_cast<int64_t>(receiver.app_bytes_read()), TimeDelta::FromSecondsInt(30))
+          .ToMbps();
+  // TCP extracts a decent share of a ~15 Mbps varying link.
+  EXPECT_GT(goodput, 6.0);
+  EXPECT_LT(goodput, 16.0);
+}
+
+TEST(PathDelayEstimatorTest, DecomposesPropagationAndQueueing) {
+  PathDelayEstimator est;
+  TcpInfoData info;
+  info.tcpi_rtt_us = 50000;
+  info.tcpi_min_rtt_us = 50000;
+  est.OnTcpInfoSample(info, Sec(1.0));
+  EXPECT_TRUE(est.has_estimate());
+  EXPECT_EQ(est.base_rtt().ToMillis(), 50);
+  EXPECT_EQ(est.queueing().ToMillis(), 0);
+  EXPECT_EQ(est.one_way_network_delay().ToMillis(), 25);
+  // Queue builds: srtt rises, base stays.
+  info.tcpi_rtt_us = 130000;
+  est.OnTcpInfoSample(info, Sec(2.0));
+  EXPECT_EQ(est.base_rtt().ToMillis(), 50);
+  EXPECT_EQ(est.queueing().ToMillis(), 80);
+}
+
+TEST(PathDelayEstimatorTest, LiveFlowMatchesConfiguredPath) {
+  PathConfig path;  // 10 Mbps / 25 ms OWD
+  Testbed bed(9, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  ElementSocket::Options opt;
+  opt.enable_latency_minimization = false;
+  ElementSocket em(&bed.loop(), flow.sender, opt);
+  RawTcpSink sink(flow.sender);
+  IperfApp app(&bed.loop(), &sink);
+  SinkApp reader(flow.receiver);
+  app.Start();
+  reader.Start();
+  bed.loop().RunUntil(Sec(20.0));
+  // Base RTT ~= 2 * 25 ms + serialization; queueing positive under Cubic.
+  EXPECT_NEAR(em.path_estimator().base_rtt().ToMillisF(), 51.5, 3.0);
+  EXPECT_GT(em.path_estimator().queueing().ToMillisF(), 10.0);
+}
+
+}  // namespace
+}  // namespace element
