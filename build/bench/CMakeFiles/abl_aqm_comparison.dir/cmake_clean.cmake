@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aqm_comparison.dir/abl_aqm_comparison.cc.o"
+  "CMakeFiles/abl_aqm_comparison.dir/abl_aqm_comparison.cc.o.d"
+  "abl_aqm_comparison"
+  "abl_aqm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aqm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_estimator_formulas.dir/abl_estimator_formulas.cc.o"
+  "CMakeFiles/abl_estimator_formulas.dir/abl_estimator_formulas.cc.o.d"
+  "abl_estimator_formulas"
+  "abl_estimator_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_estimator_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_estimator_formulas.
+# This may be replaced when dependencies are built.

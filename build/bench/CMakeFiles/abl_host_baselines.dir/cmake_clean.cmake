@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_host_baselines.dir/abl_host_baselines.cc.o"
+  "CMakeFiles/abl_host_baselines.dir/abl_host_baselines.cc.o.d"
+  "abl_host_baselines"
+  "abl_host_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_host_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/element_bench_harness.dir/harness.cc.o.d"
+  "libelement_bench_harness.a"
+  "libelement_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_delay_composition.dir/fig02_delay_composition.cc.o"
+  "CMakeFiles/fig02_delay_composition.dir/fig02_delay_composition.cc.o.d"
+  "fig02_delay_composition"
+  "fig02_delay_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_delay_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_qdisc_comparison.dir/fig03_qdisc_comparison.cc.o"
+  "CMakeFiles/fig03_qdisc_comparison.dir/fig03_qdisc_comparison.cc.o.d"
+  "fig03_qdisc_comparison"
+  "fig03_qdisc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_qdisc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

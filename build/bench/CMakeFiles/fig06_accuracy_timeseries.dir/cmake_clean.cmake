@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_accuracy_timeseries.dir/fig06_accuracy_timeseries.cc.o"
+  "CMakeFiles/fig06_accuracy_timeseries.dir/fig06_accuracy_timeseries.cc.o.d"
+  "fig06_accuracy_timeseries"
+  "fig06_accuracy_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_accuracy_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

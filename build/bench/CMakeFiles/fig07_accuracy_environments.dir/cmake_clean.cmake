@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_accuracy_environments.dir/fig07_accuracy_environments.cc.o"
+  "CMakeFiles/fig07_accuracy_environments.dir/fig07_accuracy_environments.cc.o.d"
+  "fig07_accuracy_environments"
+  "fig07_accuracy_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_accuracy_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_accuracy_dynamic.dir/fig08_accuracy_dynamic.cc.o"
+  "CMakeFiles/fig08_accuracy_dynamic.dir/fig08_accuracy_dynamic.cc.o.d"
+  "fig08_accuracy_dynamic"
+  "fig08_accuracy_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_accuracy_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

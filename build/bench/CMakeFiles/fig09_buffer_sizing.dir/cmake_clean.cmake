@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_buffer_sizing.dir/fig09_buffer_sizing.cc.o"
+  "CMakeFiles/fig09_buffer_sizing.dir/fig09_buffer_sizing.cc.o.d"
+  "fig09_buffer_sizing"
+  "fig09_buffer_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_buffer_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_buffered_amount.dir/fig10_buffered_amount.cc.o"
+  "CMakeFiles/fig10_buffered_amount.dir/fig10_buffered_amount.cc.o.d"
+  "fig10_buffered_amount"
+  "fig10_buffered_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_buffered_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

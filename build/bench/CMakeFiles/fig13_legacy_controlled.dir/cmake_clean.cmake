@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_legacy_controlled.dir/fig13_legacy_controlled.cc.o"
+  "CMakeFiles/fig13_legacy_controlled.dir/fig13_legacy_controlled.cc.o.d"
+  "fig13_legacy_controlled"
+  "fig13_legacy_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_legacy_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

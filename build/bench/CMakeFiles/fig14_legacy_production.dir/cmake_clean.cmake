@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_legacy_production.dir/fig14_legacy_production.cc.o"
+  "CMakeFiles/fig14_legacy_production.dir/fig14_legacy_production.cc.o.d"
+  "fig14_legacy_production"
+  "fig14_legacy_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_legacy_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

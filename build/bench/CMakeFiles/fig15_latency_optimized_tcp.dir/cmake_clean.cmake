@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_latency_optimized_tcp.dir/fig15_latency_optimized_tcp.cc.o"
+  "CMakeFiles/fig15_latency_optimized_tcp.dir/fig15_latency_optimized_tcp.cc.o.d"
+  "fig15_latency_optimized_tcp"
+  "fig15_latency_optimized_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_latency_optimized_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_latency_optimized_tcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_udp_protocols.dir/fig16_udp_protocols.cc.o"
+  "CMakeFiles/fig16_udp_protocols.dir/fig16_udp_protocols.cc.o.d"
+  "fig16_udp_protocols"
+  "fig16_udp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_udp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

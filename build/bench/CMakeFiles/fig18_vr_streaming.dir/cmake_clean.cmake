@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_vr_streaming.dir/fig18_vr_streaming.cc.o"
+  "CMakeFiles/fig18_vr_streaming.dir/fig18_vr_streaming.cc.o.d"
+  "fig18_vr_streaming"
+  "fig18_vr_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_vr_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

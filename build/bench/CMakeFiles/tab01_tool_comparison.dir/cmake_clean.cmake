@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_tool_comparison.dir/tab01_tool_comparison.cc.o"
+  "CMakeFiles/tab01_tool_comparison.dir/tab01_tool_comparison.cc.o.d"
+  "tab01_tool_comparison"
+  "tab01_tool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_tool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_cpu_overhead.dir/tab07_cpu_overhead.cc.o"
+  "CMakeFiles/tab07_cpu_overhead.dir/tab07_cpu_overhead.cc.o.d"
+  "tab07_cpu_overhead"
+  "tab07_cpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_cpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

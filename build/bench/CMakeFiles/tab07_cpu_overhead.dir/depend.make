@@ -1,0 +1,2 @@
+# Empty dependencies file for tab07_cpu_overhead.
+# This may be replaced when dependencies are built.

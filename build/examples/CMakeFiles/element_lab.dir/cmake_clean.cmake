@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_lab.dir/element_lab.cpp.o"
+  "CMakeFiles/element_lab.dir/element_lab.cpp.o.d"
+  "element_lab"
+  "element_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

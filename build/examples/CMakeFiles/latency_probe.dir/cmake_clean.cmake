@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_probe.dir/latency_probe.cpp.o"
+  "CMakeFiles/latency_probe.dir/latency_probe.cpp.o.d"
+  "latency_probe"
+  "latency_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_streaming.dir/vr_streaming.cpp.o"
+  "CMakeFiles/vr_streaming.dir/vr_streaming.cpp.o.d"
+  "vr_streaming"
+  "vr_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

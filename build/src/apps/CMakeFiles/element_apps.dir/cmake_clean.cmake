@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_apps.dir/iperf_app.cc.o"
+  "CMakeFiles/element_apps.dir/iperf_app.cc.o.d"
+  "CMakeFiles/element_apps.dir/svc_app.cc.o"
+  "CMakeFiles/element_apps.dir/svc_app.cc.o.d"
+  "CMakeFiles/element_apps.dir/vr_app.cc.o"
+  "CMakeFiles/element_apps.dir/vr_app.cc.o.d"
+  "libelement_apps.a"
+  "libelement_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

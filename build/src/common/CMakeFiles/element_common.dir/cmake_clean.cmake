@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_common.dir/flags.cc.o"
+  "CMakeFiles/element_common.dir/flags.cc.o.d"
+  "CMakeFiles/element_common.dir/stats.cc.o"
+  "CMakeFiles/element_common.dir/stats.cc.o.d"
+  "CMakeFiles/element_common.dir/time.cc.o"
+  "CMakeFiles/element_common.dir/time.cc.o.d"
+  "libelement_common.a"
+  "libelement_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

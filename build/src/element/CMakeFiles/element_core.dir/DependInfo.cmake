@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/element/delay_estimator.cc" "src/element/CMakeFiles/element_core.dir/delay_estimator.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/delay_estimator.cc.o.d"
+  "/root/repo/src/element/delay_event_monitor.cc" "src/element/CMakeFiles/element_core.dir/delay_event_monitor.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/delay_event_monitor.cc.o.d"
+  "/root/repo/src/element/element_socket.cc" "src/element/CMakeFiles/element_core.dir/element_socket.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/element_socket.cc.o.d"
+  "/root/repo/src/element/estimation_error.cc" "src/element/CMakeFiles/element_core.dir/estimation_error.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/estimation_error.cc.o.d"
+  "/root/repo/src/element/interposer.cc" "src/element/CMakeFiles/element_core.dir/interposer.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/interposer.cc.o.d"
+  "/root/repo/src/element/latency_minimizer.cc" "src/element/CMakeFiles/element_core.dir/latency_minimizer.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/latency_minimizer.cc.o.d"
+  "/root/repo/src/element/path_delay_estimator.cc" "src/element/CMakeFiles/element_core.dir/path_delay_estimator.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/path_delay_estimator.cc.o.d"
+  "/root/repo/src/element/tcp_info_tracker.cc" "src/element/CMakeFiles/element_core.dir/tcp_info_tracker.cc.o" "gcc" "src/element/CMakeFiles/element_core.dir/tcp_info_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/element_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/element_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

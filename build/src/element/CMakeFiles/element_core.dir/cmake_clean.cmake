@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_core.dir/delay_estimator.cc.o"
+  "CMakeFiles/element_core.dir/delay_estimator.cc.o.d"
+  "CMakeFiles/element_core.dir/delay_event_monitor.cc.o"
+  "CMakeFiles/element_core.dir/delay_event_monitor.cc.o.d"
+  "CMakeFiles/element_core.dir/element_socket.cc.o"
+  "CMakeFiles/element_core.dir/element_socket.cc.o.d"
+  "CMakeFiles/element_core.dir/estimation_error.cc.o"
+  "CMakeFiles/element_core.dir/estimation_error.cc.o.d"
+  "CMakeFiles/element_core.dir/interposer.cc.o"
+  "CMakeFiles/element_core.dir/interposer.cc.o.d"
+  "CMakeFiles/element_core.dir/latency_minimizer.cc.o"
+  "CMakeFiles/element_core.dir/latency_minimizer.cc.o.d"
+  "CMakeFiles/element_core.dir/path_delay_estimator.cc.o"
+  "CMakeFiles/element_core.dir/path_delay_estimator.cc.o.d"
+  "CMakeFiles/element_core.dir/tcp_info_tracker.cc.o"
+  "CMakeFiles/element_core.dir/tcp_info_tracker.cc.o.d"
+  "libelement_core.a"
+  "libelement_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

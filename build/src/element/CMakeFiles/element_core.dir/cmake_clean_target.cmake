@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelement_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_evloop.dir/event_loop.cc.o"
+  "CMakeFiles/element_evloop.dir/event_loop.cc.o.d"
+  "libelement_evloop.a"
+  "libelement_evloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_evloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/codel.cc" "src/netsim/CMakeFiles/element_netsim.dir/codel.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/codel.cc.o.d"
+  "/root/repo/src/netsim/fq_codel.cc" "src/netsim/CMakeFiles/element_netsim.dir/fq_codel.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/fq_codel.cc.o.d"
+  "/root/repo/src/netsim/link_model.cc" "src/netsim/CMakeFiles/element_netsim.dir/link_model.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/link_model.cc.o.d"
+  "/root/repo/src/netsim/pfifo_fast.cc" "src/netsim/CMakeFiles/element_netsim.dir/pfifo_fast.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/pfifo_fast.cc.o.d"
+  "/root/repo/src/netsim/pie.cc" "src/netsim/CMakeFiles/element_netsim.dir/pie.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/pie.cc.o.d"
+  "/root/repo/src/netsim/pipe.cc" "src/netsim/CMakeFiles/element_netsim.dir/pipe.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/pipe.cc.o.d"
+  "/root/repo/src/netsim/red.cc" "src/netsim/CMakeFiles/element_netsim.dir/red.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/red.cc.o.d"
+  "/root/repo/src/netsim/trace_link.cc" "src/netsim/CMakeFiles/element_netsim.dir/trace_link.cc.o" "gcc" "src/netsim/CMakeFiles/element_netsim.dir/trace_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

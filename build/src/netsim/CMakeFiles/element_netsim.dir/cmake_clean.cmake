@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_netsim.dir/codel.cc.o"
+  "CMakeFiles/element_netsim.dir/codel.cc.o.d"
+  "CMakeFiles/element_netsim.dir/fq_codel.cc.o"
+  "CMakeFiles/element_netsim.dir/fq_codel.cc.o.d"
+  "CMakeFiles/element_netsim.dir/link_model.cc.o"
+  "CMakeFiles/element_netsim.dir/link_model.cc.o.d"
+  "CMakeFiles/element_netsim.dir/pfifo_fast.cc.o"
+  "CMakeFiles/element_netsim.dir/pfifo_fast.cc.o.d"
+  "CMakeFiles/element_netsim.dir/pie.cc.o"
+  "CMakeFiles/element_netsim.dir/pie.cc.o.d"
+  "CMakeFiles/element_netsim.dir/pipe.cc.o"
+  "CMakeFiles/element_netsim.dir/pipe.cc.o.d"
+  "CMakeFiles/element_netsim.dir/red.cc.o"
+  "CMakeFiles/element_netsim.dir/red.cc.o.d"
+  "CMakeFiles/element_netsim.dir/trace_link.cc.o"
+  "CMakeFiles/element_netsim.dir/trace_link.cc.o.d"
+  "libelement_netsim.a"
+  "libelement_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

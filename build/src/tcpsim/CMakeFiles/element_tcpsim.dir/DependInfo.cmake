@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpsim/cc_bbr.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_bbr.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_bbr.cc.o.d"
+  "/root/repo/src/tcpsim/cc_cubic.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_cubic.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_cubic.cc.o.d"
+  "/root/repo/src/tcpsim/cc_ledbat.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_ledbat.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_ledbat.cc.o.d"
+  "/root/repo/src/tcpsim/cc_reno.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_reno.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_reno.cc.o.d"
+  "/root/repo/src/tcpsim/cc_vegas.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_vegas.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/cc_vegas.cc.o.d"
+  "/root/repo/src/tcpsim/congestion_control.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/congestion_control.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/congestion_control.cc.o.d"
+  "/root/repo/src/tcpsim/tcp_listener.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/tcp_listener.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/tcp_listener.cc.o.d"
+  "/root/repo/src/tcpsim/tcp_socket.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/tcp_socket.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/tcp_socket.cc.o.d"
+  "/root/repo/src/tcpsim/testbed.cc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/testbed.cc.o" "gcc" "src/tcpsim/CMakeFiles/element_tcpsim.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/element_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

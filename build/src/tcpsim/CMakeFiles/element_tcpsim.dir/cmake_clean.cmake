@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_tcpsim.dir/cc_bbr.cc.o"
+  "CMakeFiles/element_tcpsim.dir/cc_bbr.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/cc_cubic.cc.o"
+  "CMakeFiles/element_tcpsim.dir/cc_cubic.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/cc_ledbat.cc.o"
+  "CMakeFiles/element_tcpsim.dir/cc_ledbat.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/cc_reno.cc.o"
+  "CMakeFiles/element_tcpsim.dir/cc_reno.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/cc_vegas.cc.o"
+  "CMakeFiles/element_tcpsim.dir/cc_vegas.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/congestion_control.cc.o"
+  "CMakeFiles/element_tcpsim.dir/congestion_control.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/tcp_listener.cc.o"
+  "CMakeFiles/element_tcpsim.dir/tcp_listener.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/tcp_socket.cc.o"
+  "CMakeFiles/element_tcpsim.dir/tcp_socket.cc.o.d"
+  "CMakeFiles/element_tcpsim.dir/testbed.cc.o"
+  "CMakeFiles/element_tcpsim.dir/testbed.cc.o.d"
+  "libelement_tcpsim.a"
+  "libelement_tcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_tcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

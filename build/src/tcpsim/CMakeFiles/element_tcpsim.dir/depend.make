@@ -1,0 +1,2 @@
+# Empty dependencies file for element_tcpsim.
+# This may be replaced when dependencies are built.

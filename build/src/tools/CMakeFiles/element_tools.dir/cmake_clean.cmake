@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_tools.dir/probe_tools.cc.o"
+  "CMakeFiles/element_tools.dir/probe_tools.cc.o.d"
+  "libelement_tools.a"
+  "libelement_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

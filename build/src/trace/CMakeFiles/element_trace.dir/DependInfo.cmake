@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/export.cc" "src/trace/CMakeFiles/element_trace.dir/export.cc.o" "gcc" "src/trace/CMakeFiles/element_trace.dir/export.cc.o.d"
+  "/root/repo/src/trace/flow_meter.cc" "src/trace/CMakeFiles/element_trace.dir/flow_meter.cc.o" "gcc" "src/trace/CMakeFiles/element_trace.dir/flow_meter.cc.o.d"
+  "/root/repo/src/trace/ground_truth.cc" "src/trace/CMakeFiles/element_trace.dir/ground_truth.cc.o" "gcc" "src/trace/CMakeFiles/element_trace.dir/ground_truth.cc.o.d"
+  "/root/repo/src/trace/packet_log.cc" "src/trace/CMakeFiles/element_trace.dir/packet_log.cc.o" "gcc" "src/trace/CMakeFiles/element_trace.dir/packet_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/element_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/element_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_trace.dir/export.cc.o"
+  "CMakeFiles/element_trace.dir/export.cc.o.d"
+  "CMakeFiles/element_trace.dir/flow_meter.cc.o"
+  "CMakeFiles/element_trace.dir/flow_meter.cc.o.d"
+  "CMakeFiles/element_trace.dir/ground_truth.cc.o"
+  "CMakeFiles/element_trace.dir/ground_truth.cc.o.d"
+  "CMakeFiles/element_trace.dir/packet_log.cc.o"
+  "CMakeFiles/element_trace.dir/packet_log.cc.o.d"
+  "libelement_trace.a"
+  "libelement_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udpproto/low_latency_protocols.cc" "src/udpproto/CMakeFiles/element_udpproto.dir/low_latency_protocols.cc.o" "gcc" "src/udpproto/CMakeFiles/element_udpproto.dir/low_latency_protocols.cc.o.d"
+  "/root/repo/src/udpproto/udp_socket.cc" "src/udpproto/CMakeFiles/element_udpproto.dir/udp_socket.cc.o" "gcc" "src/udpproto/CMakeFiles/element_udpproto.dir/udp_socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/element_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

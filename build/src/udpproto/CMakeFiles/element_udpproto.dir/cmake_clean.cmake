@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_udpproto.dir/low_latency_protocols.cc.o"
+  "CMakeFiles/element_udpproto.dir/low_latency_protocols.cc.o.d"
+  "CMakeFiles/element_udpproto.dir/udp_socket.cc.o"
+  "CMakeFiles/element_udpproto.dir/udp_socket.cc.o.d"
+  "libelement_udpproto.a"
+  "libelement_udpproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_udpproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

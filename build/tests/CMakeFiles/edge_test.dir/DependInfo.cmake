@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/edge_test.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/edge_test.dir/edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/element_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/element_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/udpproto/CMakeFiles/element_udpproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/element_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/element/CMakeFiles/element_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpsim/CMakeFiles/element_tcpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/element_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evloop/CMakeFiles/element_evloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/element_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

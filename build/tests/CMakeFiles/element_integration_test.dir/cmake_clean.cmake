@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_integration_test.dir/element_integration_test.cc.o"
+  "CMakeFiles/element_integration_test.dir/element_integration_test.cc.o.d"
+  "element_integration_test"
+  "element_integration_test.pdb"
+  "element_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

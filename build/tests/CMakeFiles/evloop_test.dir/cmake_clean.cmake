@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evloop_test.dir/evloop_test.cc.o"
+  "CMakeFiles/evloop_test.dir/evloop_test.cc.o.d"
+  "evloop_test"
+  "evloop_test.pdb"
+  "evloop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

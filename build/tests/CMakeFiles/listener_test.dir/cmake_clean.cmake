@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listener_test.dir/listener_test.cc.o"
+  "CMakeFiles/listener_test.dir/listener_test.cc.o.d"
+  "listener_test"
+  "listener_test.pdb"
+  "listener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimizer_test.dir/minimizer_test.cc.o"
+  "CMakeFiles/minimizer_test.dir/minimizer_test.cc.o.d"
+  "minimizer_test"
+  "minimizer_test.pdb"
+  "minimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_test.dir/svc_test.cc.o"
+  "CMakeFiles/svc_test.dir/svc_test.cc.o.d"
+  "svc_test"
+  "svc_test.pdb"
+  "svc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

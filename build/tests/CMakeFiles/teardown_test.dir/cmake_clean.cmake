@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teardown_test.dir/teardown_test.cc.o"
+  "CMakeFiles/teardown_test.dir/teardown_test.cc.o.d"
+  "teardown_test"
+  "teardown_test.pdb"
+  "teardown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teardown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
