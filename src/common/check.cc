@@ -1,0 +1,23 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace element {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* kind, const char* file, int line,
+                           const char* condition) {
+  stream_ << kind << " failed at " << file << ":" << line << ": " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace element

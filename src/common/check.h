@@ -1,0 +1,98 @@
+// Invariant-checking macros for the simulator.
+//
+//   ELEMENT_CHECK(cond)  — always on; aborts with file:line, the condition
+//                          text, and any streamed context.
+//   ELEMENT_DCHECK(cond) — debug-only precondition; compiled out under NDEBUG.
+//   ELEMENT_AUDIT(cond)  — debug-only *conservation-law* check. Audits are the
+//                          simulator's bookkeeping safety net (sequence-space
+//                          ordering in tcpsim, enqueue/dequeue/drop
+//                          conservation in the qdiscs, clock monotonicity in
+//                          evloop, delay-decomposition conservation in
+//                          element). They may walk O(n) state, so they compile
+//                          to nothing in Release builds.
+//
+// All three accept streamed context:
+//   ELEMENT_CHECK(snd_una_ <= snd_nxt_) << "una=" << snd_una_ << " nxt=" << snd_nxt_;
+//
+// Streamed arguments are never evaluated when the condition holds (or when
+// the macro is compiled out), so context may be arbitrarily expensive.
+//
+// Audits can be forced into optimized builds with -DELEMENT_FORCE_AUDITS for
+// soak runs; `kAuditsEnabled` lets call sites guard O(n) state walks that
+// would otherwise run even with the macro disabled.
+
+#ifndef ELEMENT_SRC_COMMON_CHECK_H_
+#define ELEMENT_SRC_COMMON_CHECK_H_
+
+#include <sstream>
+
+namespace element {
+namespace internal {
+
+// Collects streamed context for a failed check; the destructor prints the
+// message and aborts. Only ever constructed on the failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* kind, const char* file, int line, const char* condition);
+  ~CheckFailure();  // [[noreturn]] in effect: always aborts
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows `<< args` without evaluating anything (dead branch of the ?:).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// `&` binds looser than `<<` and tighter than `?:`, which lets the macros
+// below form a void expression out of a stream chain.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace element
+
+#define ELEMENT_CHECK_IMPL_(kind, cond)                                             \
+  (cond) ? (void)0                                                                  \
+         : ::element::internal::Voidify() &                                         \
+               ::element::internal::CheckFailure(kind, __FILE__, __LINE__, #cond)   \
+                   .stream()
+
+// Never evaluates `cond` or the streamed arguments, but keeps them visible to
+// the compiler so variables used only in checks do not warn as unused.
+#define ELEMENT_EAT_CHECK_(cond)             \
+  true ? (void)0                             \
+       : ::element::internal::Voidify() &    \
+             (::element::internal::NullStream() << !(cond))
+
+#define ELEMENT_CHECK(cond) ELEMENT_CHECK_IMPL_("CHECK", cond)
+
+#if !defined(NDEBUG) || defined(ELEMENT_FORCE_AUDITS)
+#define ELEMENT_AUDITS_ENABLED 1
+#define ELEMENT_DCHECK(cond) ELEMENT_CHECK_IMPL_("DCHECK", cond)
+#define ELEMENT_AUDIT(cond) ELEMENT_CHECK_IMPL_("AUDIT", cond)
+#else
+#define ELEMENT_AUDITS_ENABLED 0
+#define ELEMENT_DCHECK(cond) ELEMENT_EAT_CHECK_(cond)
+#define ELEMENT_AUDIT(cond) ELEMENT_EAT_CHECK_(cond)
+#endif
+
+namespace element {
+// For guarding audit-only state walks:  if constexpr (kAuditsEnabled) { ... }
+inline constexpr bool kAuditsEnabled = ELEMENT_AUDITS_ENABLED != 0;
+}  // namespace element
+
+#endif  // ELEMENT_SRC_COMMON_CHECK_H_

@@ -6,8 +6,11 @@
 #ifndef ELEMENT_SRC_COMMON_RNG_H_
 #define ELEMENT_SRC_COMMON_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <random>
+
+#include "src/common/check.h"
 
 namespace element {
 
@@ -25,6 +28,7 @@ class Rng {
   }
   bool Bernoulli(double p) { return Uniform() < p; }
   double Exponential(double mean) {
+    ELEMENT_DCHECK(mean > 0.0) << "Exponential() needs a positive mean, got " << mean;
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
   double Normal(double mean, double stddev) {
@@ -36,7 +40,16 @@ class Rng {
     return v < 0.0 ? 0.0 : v;
   }
   double Pareto(double scale, double shape) {
-    return scale / std::pow(1.0 - Uniform(), 1.0 / shape);
+    ELEMENT_DCHECK(shape > 0.0) << "Pareto() needs a positive shape, got " << shape;
+    // Uniform() draws from [0, 1), but uniform_real_distribution may round up
+    // to exactly 1.0 (LWG 2524), which would divide by pow(0, 1/shape) = 0.
+    // Clamp the survival probability away from zero; the clamp caps the tail
+    // at scale * 1e12^(1/shape), far beyond any simulated delay.
+    double survival = 1.0 - Uniform();
+    if (survival < 1e-12) {
+      survival = 1e-12;
+    }
+    return scale / std::pow(survival, 1.0 / shape);
   }
 
   std::mt19937_64& engine() { return engine_; }

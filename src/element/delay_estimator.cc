@@ -1,6 +1,29 @@
 #include "src/element/delay_estimator.h"
 
+#include <cmath>
+
+#include "src/common/check.h"
+
 namespace element {
+
+bool DelayDecompositionConserves(double sender_s, double network_s, double receiver_s,
+                                 double end_to_end_s, double rel_tolerance,
+                                 double abs_slack_s) {
+  double reconstructed = sender_s + network_s + receiver_s;
+  double budget = rel_tolerance * end_to_end_s + abs_slack_s;
+  return std::abs(reconstructed - end_to_end_s) <= budget;
+}
+
+void AuditDelayDecomposition(double sender_s, double network_s, double receiver_s,
+                             double end_to_end_s, double rel_tolerance,
+                             double abs_slack_s) {
+  ELEMENT_AUDIT(DelayDecompositionConserves(sender_s, network_s, receiver_s, end_to_end_s,
+                                            rel_tolerance, abs_slack_s))
+      << "delay decomposition does not conserve: sender=" << sender_s
+      << "s network=" << network_s << "s receiver=" << receiver_s
+      << "s sum=" << sender_s + network_s + receiver_s
+      << "s end_to_end=" << end_to_end_s << "s";
+}
 
 uint64_t SenderDelayEstimator::EstimateSentBytes(const TcpInfoData& info) {
   return info.tcpi_bytes_acked +
@@ -8,6 +31,9 @@ uint64_t SenderDelayEstimator::EstimateSentBytes(const TcpInfoData& info) {
 }
 
 void SenderDelayEstimator::OnAppSend(uint64_t cumulative_bytes, SimTime t) {
+  ELEMENT_AUDIT(records_.empty() || cumulative_bytes >= records_.front().bytes)
+      << "app write positions regressed: " << cumulative_bytes << " after "
+      << records_.front().bytes;
   records_.push_front({cumulative_bytes, t});
 }
 
@@ -26,6 +52,9 @@ void SenderDelayEstimator::OnTcpInfoSample(const TcpInfoData& info, SimTime t) {
   // TCP layer — its buffer delay is T - sendTime.
   while (!records_.empty() && records_.back().bytes <= best) {
     TimeDelta d = t - records_.back().send_time;
+    ELEMENT_AUDIT(d >= TimeDelta::Zero())
+        << "negative sender delay: sample at " << t.nanos() << "ns before write at "
+        << records_.back().send_time.nanos() << "ns";
     records_.pop_back();
     latest_delay_ = d;
     has_estimate_ = true;
@@ -66,6 +95,9 @@ void ReceiverDelayEstimator::OnAppReceive(uint64_t cumulative_bytes, SimTime t,
       continue;
     }
     TimeDelta d = t - records_.back().recv_time;
+    ELEMENT_AUDIT(d >= TimeDelta::Zero())
+        << "negative receiver delay: read at " << t.nanos() << "ns before TCP receive at "
+        << records_.back().recv_time.nanos() << "ns";
     latest_delay_ = d;
     has_estimate_ = true;
     double ds = d.ToSeconds();

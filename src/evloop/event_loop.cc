@@ -1,7 +1,8 @@
 #include "src/evloop/event_loop.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace element {
 
@@ -49,9 +50,11 @@ void EventLoop::Run() {
   stopped_ = false;
   Event ev;
   while (!stopped_ && PopRunnable(SimTime::Infinite(), &ev)) {
+    ELEMENT_AUDIT(ev.at >= now_) << "event loop time went backwards: now=" << now_.nanos()
+                                 << "ns event=" << ev.at.nanos() << "ns id=" << ev.id;
     now_ = ev.at;
     auto it = callbacks_.find(ev.id);
-    assert(it != callbacks_.end());
+    ELEMENT_DCHECK(it != callbacks_.end()) << "fired event " << ev.id << " has no callback";
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     ++processed_;
@@ -63,9 +66,11 @@ void EventLoop::RunUntil(SimTime deadline) {
   stopped_ = false;
   Event ev;
   while (!stopped_ && PopRunnable(deadline, &ev)) {
+    ELEMENT_AUDIT(ev.at >= now_) << "event loop time went backwards: now=" << now_.nanos()
+                                 << "ns event=" << ev.at.nanos() << "ns id=" << ev.id;
     now_ = ev.at;
     auto it = callbacks_.find(ev.id);
-    assert(it != callbacks_.end());
+    ELEMENT_DCHECK(it != callbacks_.end()) << "fired event " << ev.id << " has no callback";
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     ++processed_;

@@ -54,8 +54,9 @@ bool CoDelState::ShouldDrop(TimeDelta sojourn, SimTime now, size_t queued_bytes)
 CoDel::CoDel(const CoDelParams& params) : params_(params), state_(params) {}
 
 bool CoDel::Enqueue(Packet pkt, SimTime now) {
+  ScopedConservationAudit audit(this);
   if (queue_.size() >= params_.limit_packets) {
-    CountDrop();
+    CountDropPreQueue();
     return false;
   }
   pkt.enqueued = now;
@@ -66,6 +67,7 @@ bool CoDel::Enqueue(Packet pkt, SimTime now) {
 }
 
 std::optional<Packet> CoDel::Dequeue(SimTime now) {
+  ScopedConservationAudit audit(this);
   while (!queue_.empty()) {
     Packet pkt = std::move(queue_.front());
     queue_.pop_front();
@@ -76,7 +78,7 @@ std::optional<Packet> CoDel::Dequeue(SimTime now) {
         CountDequeue(pkt);
         return pkt;
       }
-      CountDrop();
+      CountDropFromQueue(pkt);
       continue;
     }
     CountDequeue(pkt);

@@ -33,15 +33,16 @@ void FqCoDel::DropFromLongestFlow() {
   fq.bytes -= head.size_bytes;
   total_bytes_ -= head.size_bytes;
   --total_packets_;
-  CountDrop();
+  CountDropFromQueue(head);
   fq.packets.pop_front();
 }
 
 bool FqCoDel::Enqueue(Packet pkt, SimTime now) {
+  ScopedConservationAudit audit(this);
   if (total_packets_ >= params_.limit_packets) {
     DropFromLongestFlow();
     if (total_packets_ >= params_.limit_packets) {
-      CountDrop();
+      CountDropPreQueue();
       return false;
     }
   }
@@ -77,7 +78,7 @@ std::optional<Packet> FqCoDel::DequeueFromFlow(FlowQueue* fq, SimTime now) {
         CountDequeue(pkt);
         return pkt;
       }
-      CountDrop();
+      CountDropFromQueue(pkt);
       continue;
     }
     CountDequeue(pkt);
@@ -87,6 +88,7 @@ std::optional<Packet> FqCoDel::DequeueFromFlow(FlowQueue* fq, SimTime now) {
 }
 
 std::optional<Packet> FqCoDel::Dequeue(SimTime now) {
+  ScopedConservationAudit audit(this);
   for (int guard = 0; guard < 4 * static_cast<int>(params_.num_buckets) + 8; ++guard) {
     std::list<size_t>* list = !new_flows_.empty() ? &new_flows_ : &old_flows_;
     if (list->empty()) {

@@ -7,8 +7,9 @@ namespace element {
 PfifoFast::PfifoFast(size_t limit_packets) : limit_(limit_packets) {}
 
 bool PfifoFast::Enqueue(Packet pkt, SimTime now) {
+  ScopedConservationAudit audit(this);
   if (total_packets_ >= limit_) {
-    CountDrop();
+    CountDropPreQueue();
     return false;
   }
   pkt.enqueued = now;
@@ -21,6 +22,7 @@ bool PfifoFast::Enqueue(Packet pkt, SimTime now) {
 }
 
 std::optional<Packet> PfifoFast::Dequeue(SimTime /*now*/) {
+  ScopedConservationAudit audit(this);
   for (auto& band : bands_) {
     if (!band.empty()) {
       Packet pkt = std::move(band.front());

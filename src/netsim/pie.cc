@@ -59,9 +59,10 @@ void Pie::MaybeUpdateProbability(SimTime now) {
 }
 
 bool Pie::Enqueue(Packet pkt, SimTime now) {
+  ScopedConservationAudit audit(this);
   MaybeUpdateProbability(now);
   if (queue_.size() >= params_.limit_packets) {
-    CountDrop();
+    CountDropPreQueue();
     return false;
   }
   bool should_drop = false;
@@ -75,7 +76,7 @@ bool Pie::Enqueue(Packet pkt, SimTime now) {
   }
   if (should_drop) {
     if (!MarkInsteadOfDrop(pkt)) {
-      CountDrop();
+      CountDropPreQueue();
       return false;
     }
   }
@@ -87,6 +88,7 @@ bool Pie::Enqueue(Packet pkt, SimTime now) {
 }
 
 std::optional<Packet> Pie::Dequeue(SimTime now) {
+  ScopedConservationAudit audit(this);
   if (queue_.empty()) {
     have_last_dequeue_ = false;
     return std::nullopt;

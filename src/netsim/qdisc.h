@@ -1,6 +1,6 @@
 // Queueing-discipline interface plus shared statistics. Concrete disciplines
-// (PfifoFast, CoDel, FqCoDel, Pie) mirror the Linux qdiscs the paper evaluates
-// in Sections 2.2 and 5.
+// (PfifoFast, CoDel, FqCoDel, Pie, Red) mirror the Linux qdiscs the paper
+// evaluates in Sections 2.2 and 5.
 
 #ifndef ELEMENT_SRC_NETSIM_QDISC_H_
 #define ELEMENT_SRC_NETSIM_QDISC_H_
@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "src/common/check.h"
 #include "src/common/time.h"
 #include "src/netsim/packet.h"
 
@@ -17,10 +18,18 @@ namespace element {
 struct QdiscStats {
   uint64_t enqueued_packets = 0;
   uint64_t dequeued_packets = 0;
-  uint64_t dropped_packets = 0;
+  uint64_t dropped_packets = 0;  // pre-queue + from-queue
   uint64_t ecn_marked_packets = 0;
   uint64_t enqueued_bytes = 0;
   uint64_t dequeued_bytes = 0;
+
+  // Drop breakdown, needed for conservation auditing: a pre-queue drop
+  // (tail drop / early drop at Enqueue) rejects a packet that was never
+  // counted as enqueued; a from-queue drop (AQM head drop at Dequeue)
+  // removes a packet that was.
+  uint64_t dropped_pre_queue_packets = 0;
+  uint64_t dropped_from_queue_packets = 0;
+  uint64_t dropped_from_queue_bytes = 0;
 };
 
 class Qdisc {
@@ -43,6 +52,55 @@ class Qdisc {
   void set_ecn_enabled(bool enabled) { ecn_enabled_ = enabled; }
   bool ecn_enabled() const { return ecn_enabled_; }
 
+  // Conservation audit (compiled out in Release): every packet counted as
+  // enqueued must be accounted for as dequeued, dropped from the queue, or
+  // still queued — in packets and in bytes. Concrete disciplines call this
+  // after every Enqueue/Dequeue.
+  void AuditConservation() const {
+    ELEMENT_AUDIT(stats_.dropped_packets ==
+                  stats_.dropped_pre_queue_packets + stats_.dropped_from_queue_packets)
+        << name() << ": drop breakdown out of sync: total=" << stats_.dropped_packets
+        << " pre=" << stats_.dropped_pre_queue_packets
+        << " from_queue=" << stats_.dropped_from_queue_packets;
+    ELEMENT_AUDIT(stats_.enqueued_packets == stats_.dequeued_packets +
+                                                 stats_.dropped_from_queue_packets +
+                                                 packet_count())
+        << name() << ": packet conservation violated: enqueued=" << stats_.enqueued_packets
+        << " dequeued=" << stats_.dequeued_packets
+        << " dropped_from_queue=" << stats_.dropped_from_queue_packets
+        << " in_queue=" << packet_count();
+    ELEMENT_AUDIT(byte_count() >= 0)
+        << name() << ": negative queue occupancy: " << byte_count();
+    ELEMENT_AUDIT(stats_.enqueued_bytes ==
+                  stats_.dequeued_bytes + stats_.dropped_from_queue_bytes +
+                      static_cast<uint64_t>(byte_count()))
+        << name() << ": byte conservation violated: enqueued=" << stats_.enqueued_bytes
+        << " dequeued=" << stats_.dequeued_bytes
+        << " dropped_from_queue=" << stats_.dropped_from_queue_bytes
+        << " in_queue=" << byte_count();
+  }
+
+  // Test-only: desynchronizes the stats so audit death tests can verify the
+  // conservation check actually fires.
+  void TestOnlyCorruptStatsForAudit() {
+    ++stats_.enqueued_packets;
+    stats_.enqueued_bytes += 1;
+  }
+
+  // Runs AuditConservation() on every exit path of an Enqueue/Dequeue.
+  // Declared at the top of each mutating method; a no-op in Release.
+  class ScopedConservationAudit {
+   public:
+    explicit ScopedConservationAudit(const Qdisc* qdisc) : qdisc_(qdisc) {}
+    ~ScopedConservationAudit() { qdisc_->AuditConservation(); }
+
+    ScopedConservationAudit(const ScopedConservationAudit&) = delete;
+    ScopedConservationAudit& operator=(const ScopedConservationAudit&) = delete;
+
+   private:
+    const Qdisc* qdisc_;
+  };
+
  protected:
   void CountEnqueue(const Packet& pkt) {
     ++stats_.enqueued_packets;
@@ -52,7 +110,18 @@ class Qdisc {
     ++stats_.dequeued_packets;
     stats_.dequeued_bytes += pkt.size_bytes;
   }
-  void CountDrop() { ++stats_.dropped_packets; }
+  // Drop of a packet that was never admitted (tail/early drop at Enqueue).
+  void CountDropPreQueue() {
+    ++stats_.dropped_packets;
+    ++stats_.dropped_pre_queue_packets;
+  }
+  // Drop of an admitted packet (AQM head drop at Dequeue, overflow eviction).
+  void CountDropFromQueue(const Packet& pkt) {
+    ++stats_.dropped_packets;
+    ++stats_.dropped_from_queue_packets;
+    stats_.dropped_from_queue_bytes += pkt.size_bytes;
+  }
+
   void CountMark() { ++stats_.ecn_marked_packets; }
 
   // AQM helper: marks the packet if ECN applies (returns true = keep packet),

@@ -26,6 +26,7 @@ double Red::CurrentDropProbability() const {
 }
 
 bool Red::Enqueue(Packet pkt, SimTime now) {
+  ScopedConservationAudit audit(this);
   // EWMA of the instantaneous queue; an idle period decays it toward zero
   // (approximation of the m-packet idle correction).
   if (idle_) {
@@ -38,14 +39,14 @@ bool Red::Enqueue(Packet pkt, SimTime now) {
                params_.queue_weight * static_cast<double>(queue_.size());
 
   if (queue_.size() >= params_.limit_packets) {
-    CountDrop();
+    CountDropPreQueue();
     count_since_drop_ = 0;
     return false;
   }
   double p = CurrentDropProbability();
   if (p > 0.0 && rng_.Bernoulli(p)) {
     if (!MarkInsteadOfDrop(pkt)) {
-      CountDrop();
+      CountDropPreQueue();
       count_since_drop_ = 0;
       return false;
     }
@@ -62,6 +63,7 @@ bool Red::Enqueue(Packet pkt, SimTime now) {
 }
 
 std::optional<Packet> Red::Dequeue(SimTime now) {
+  ScopedConservationAudit audit(this);
   if (queue_.empty()) {
     if (!idle_) {
       idle_ = true;

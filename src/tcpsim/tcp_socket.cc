@@ -1,8 +1,9 @@
 #include "src/tcpsim/tcp_socket.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace element {
 namespace {
@@ -52,7 +53,7 @@ TcpSocket::~TcpSocket() {
 // ---------------------------------------------------------------------------
 
 void TcpSocket::Connect() {
-  assert(state_ == State::kClosed);
+  ELEMENT_DCHECK(state_ == State::kClosed) << "Connect() on a non-closed socket";
   state_ = State::kSynSent;
   established_time_ = loop_->now();  // records SYN time until established
   TcpSegmentPayload syn;
@@ -71,7 +72,7 @@ void TcpSocket::Connect() {
 }
 
 void TcpSocket::Listen() {
-  assert(state_ == State::kClosed);
+  ELEMENT_DCHECK(state_ == State::kClosed) << "Listen() on a non-closed socket";
   state_ = State::kListen;
 }
 
@@ -116,6 +117,7 @@ size_t TcpSocket::Write(size_t n) {
   if (accepted < n) {
     writable_blocked_ = true;
   }
+  AuditSequenceInvariants();
   return accepted;
 }
 
@@ -127,6 +129,7 @@ size_t TcpSocket::Read(size_t max) {
     }
     read_seq_ += n;
   }
+  AuditSequenceInvariants();
   return n;
 }
 
@@ -566,6 +569,7 @@ void TcpSocket::OnRtoFire() {
   highest_sacked_ = std::max(highest_sacked_, snd_nxt_);
   ArmRto();
   TrySendData();
+  AuditSequenceInvariants();
 }
 
 void TcpSocket::NotifyWritableIfNeeded() {
@@ -831,6 +835,69 @@ void TcpSocket::Deliver(Packet pkt) {
   if (seg.ack) {
     OnAckSegment(seg);
   }
+  AuditSequenceInvariants();
+}
+
+void TcpSocket::AuditSequenceInvariants() const {
+  if constexpr (!kAuditsEnabled) {
+    return;
+  }
+  // -- sender sequence space --
+  ELEMENT_AUDIT(snd_una_ <= snd_nxt_)
+      << "snd_una=" << snd_una_ << " > snd_nxt=" << snd_nxt_ << " flow=" << flow_id_;
+  uint64_t send_limit = write_seq_ + (fin_sent_ ? 1 : 0);  // FIN's phantom byte
+  ELEMENT_AUDIT(snd_nxt_ <= send_limit)
+      << "snd_nxt=" << snd_nxt_ << " beyond app writes=" << write_seq_
+      << " fin_sent=" << fin_sent_ << " flow=" << flow_id_;
+  ELEMENT_AUDIT(snd_una_ <= send_limit)
+      << "sndbuf occupancy negative: snd_una=" << snd_una_ << " write_seq=" << write_seq_
+      << " fin_sent=" << fin_sent_ << " flow=" << flow_id_;
+
+  // -- SACK scoreboard vs. the retransmit queue --
+  uint64_t sacked = 0;
+  uint64_t lost = 0;
+  for (const auto& [seq, meta] : outstanding_) {
+    ELEMENT_AUDIT(seq + meta.len <= snd_nxt_)
+        << "outstanding segment [" << seq << "," << seq + meta.len << ") past snd_nxt="
+        << snd_nxt_ << " flow=" << flow_id_;
+    ELEMENT_AUDIT(seq + meta.len > snd_una_)
+        << "fully-acked segment [" << seq << "," << seq + meta.len
+        << ") still outstanding, snd_una=" << snd_una_ << " flow=" << flow_id_;
+    ELEMENT_AUDIT(!(meta.sacked && meta.lost))
+        << "segment at " << seq << " both sacked and lost, flow=" << flow_id_;
+    if (meta.sacked) {
+      sacked += meta.len;
+    }
+    if (meta.lost) {
+      lost += meta.len;
+    }
+  }
+  ELEMENT_AUDIT(sacked == sacked_bytes_)
+      << "sacked_bytes out of sync: counter=" << sacked_bytes_ << " scoreboard=" << sacked
+      << " flow=" << flow_id_;
+  ELEMENT_AUDIT(lost == lost_bytes_)
+      << "lost_bytes out of sync: counter=" << lost_bytes_ << " scoreboard=" << lost
+      << " flow=" << flow_id_;
+
+  // -- receiver sequence space --
+  ELEMENT_AUDIT(read_seq_ + (peer_fin_received_ ? 1 : 0) <= rcv_nxt_)
+      << "app read past rcv_nxt: read_seq=" << read_seq_ << " rcv_nxt=" << rcv_nxt_
+      << " flow=" << flow_id_;
+  uint64_t ooo = 0;
+  for (const auto& [seq, len] : out_of_order_) {
+    ELEMENT_AUDIT(seq > rcv_nxt_)
+        << "out-of-order range at " << seq << " not beyond rcv_nxt=" << rcv_nxt_
+        << " flow=" << flow_id_;
+    ooo += len;
+  }
+  ELEMENT_AUDIT(ooo == ooo_bytes_)
+      << "ooo_bytes out of sync: counter=" << ooo_bytes_ << " queue=" << ooo
+      << " flow=" << flow_id_;
+}
+
+void TcpSocket::TestOnlyCorruptSequenceStateForAudit() {
+  snd_una_ = snd_nxt_ + 1;
+  AuditSequenceInvariants();
 }
 
 const TcpInfoData& TcpSocket::SharedInfoPage() const {

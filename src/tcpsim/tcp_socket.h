@@ -126,7 +126,11 @@ class TcpSocket : public PacketSink {
   // setsockopt(SO_SNDBUF): pins the buffer and disables auto-tuning.
   void SetSndBuf(size_t bytes);
   size_t sndbuf() const { return sndbuf_; }
-  size_t SndBufUsed() const { return static_cast<size_t>(write_seq_ - snd_una_); }
+  // Occupancy is clamped at zero: once the FIN's phantom byte is acked,
+  // snd_una_ sits one past write_seq_.
+  size_t SndBufUsed() const {
+    return static_cast<size_t>(write_seq_ > snd_una_ ? write_seq_ - snd_una_ : 0);
+  }
   size_t SndBufFree() const;
 
   void set_observer(StackObserver* obs) { observer_ = obs; }
@@ -137,6 +141,10 @@ class TcpSocket : public PacketSink {
   uint64_t total_retransmits() const { return total_retrans_; }
   TimeDelta smoothed_rtt() const { return srtt_; }
   TimeDelta min_rtt() const { return min_rtt_; }
+
+  // Test-only: breaks sequence-space ordering and runs the audit so death
+  // tests can verify the invariant layer actually fires.
+  void TestOnlyCorruptSequenceStateForAudit();
 
   // PacketSink (called by the demux).
   void Deliver(Packet pkt) override;
@@ -186,6 +194,10 @@ class TcpSocket : public PacketSink {
   // -- shared plumbing --
   void EmitSegment(TcpSegmentPayload seg, uint32_t payload_bytes, uint32_t priority_band = 1);
   void BecomeEstablished();
+  // Sequence-space conservation audit (compiled out in Release): sequence
+  // ordering, SACK-scoreboard bookkeeping vs. the retransmit queue, send- and
+  // receive-buffer occupancy. Runs after every socket entry point.
+  void AuditSequenceInvariants() const;
 
   EventLoop* loop_;
   Rng rng_;

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the ELEMENT simulator.
+
+The compiler cannot enforce the rules that keep simulation runs
+reproducible; this lint does:
+
+  R1  no wall-clock reads inside the simulator
+      (std::chrono::system_clock / steady_clock / high_resolution_clock,
+      time(), gettimeofday(), clock_gettime(), localtime/gmtime)
+  R2  no RNG engine construction outside src/common/rng.h
+      (std::mt19937*, minstd_rand, ranlux*, knuth_b, default_random_engine)
+  R3  no std::random_device anywhere (nondeterministic seeding)
+  R4  no libc rand()/srand()/drand48() family
+  R5  no `float` in simulator arithmetic — time and byte bookkeeping must use
+      int64/double so results do not depend on x87/SSE rounding width
+
+Scope: src/ is linted with every rule. tests/, bench/, and examples/ are
+linted with R2/R3/R4 only (benchmark harnesses legitimately read wall
+clocks; floats never carry sim state in src/ but may appear in
+plotting-oriented code).
+
+A finding can be waived for one line with a trailing comment:
+    do_something();  // lint_sim: allow(<rule>)
+e.g. `// lint_sim: allow(wall-clock)`.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
+
+# rule name -> (regex, message)
+RULES = {
+    "wall-clock": (
+        re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&)"
+            r"|\b(localtime|gmtime|mktime)\s*\("
+        ),
+        "wall-clock read; simulation code must use SimTime/EventLoop::now()",
+    ),
+    "rng-engine": (
+        re.compile(
+            r"\bstd::(mt19937(_64)?|minstd_rand0?|ranlux(24|48)(_base)?|knuth_b"
+            r"|default_random_engine)\b"
+        ),
+        "RNG engine constructed outside src/common/rng.h; use Rng (explicit seed, Fork())",
+    ),
+    "random-device": (
+        re.compile(r"\bstd::random_device\b"),
+        "std::random_device is nondeterministic; seeds must be explicit",
+    ),
+    "libc-rand": (
+        re.compile(r"\b(?:std::)?(rand|srand|rand_r|drand48|srand48|random)\s*\("),
+        "libc rand family is nondeterministic across platforms; use Rng",
+    ),
+    "float": (
+        re.compile(r"(?<![\w.])float(?![\w])"),
+        "float in simulator arithmetic; use double or int64_t "
+        "(time/byte bookkeeping must not lose precision)",
+    ),
+}
+
+ALLOW_RE = re.compile(r"//\s*lint_sim:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//(?!\s*lint_sim:).*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# Files exempt from specific rules.
+EXEMPT = {
+    # The one place RNG engines may be constructed and held.
+    "src/common/rng.h": {"rng-engine"},
+}
+
+
+def lint_line(line: str, rules: dict) -> list[tuple[str, str]]:
+    """Returns (rule, message) findings for one source line."""
+    allow = {m.group(1) for m in ALLOW_RE.finditer(line)}
+    # Strip string literals and trailing comments so prose does not trip rules.
+    code = STRING_RE.sub('""', line)
+    code = LINE_COMMENT_RE.sub("", code)
+    findings = []
+    for name, (pattern, message) in rules.items():
+        if name in allow:
+            continue
+        if pattern.search(code):
+            findings.append((name, message))
+    return findings
+
+
+def rules_for(rel: str) -> dict:
+    if rel.startswith("src/"):
+        selected = dict(RULES)
+    else:
+        selected = {k: RULES[k] for k in ("rng-engine", "random-device", "libc-rand")}
+    for rule in EXEMPT.get(rel, ()):  # per-file exemptions
+        selected.pop(rule, None)
+    return selected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repository root (default: auto)")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src tests bench examples)",
+    )
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"lint_sim: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        targets = [Path(p).resolve() for p in args.paths]
+    else:
+        targets = [root / d for d in ("src", "tests", "bench", "examples")]
+
+    files = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(p for p in target.rglob("*") if p.suffix in CPP_SUFFIXES))
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"lint_sim: no such path: {target}", file=sys.stderr)
+            return 2
+
+    failures = 0
+    for path in files:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:  # outside the repo root: no EXEMPT match, all rules apply
+            rel = path.as_posix()
+        rules = rules_for(rel)
+        in_block_comment = False
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            # Cheap block-comment tracking (no nesting, as in C++).
+            if in_block_comment:
+                if "*/" in line:
+                    line = line.split("*/", 1)[1]
+                    in_block_comment = False
+                else:
+                    continue
+            if "/*" in line and "*/" not in line.split("/*", 1)[1]:
+                line = line.split("/*", 1)[0]
+                in_block_comment = True
+            for rule, message in lint_line(line, rules):
+                print(f"{rel}:{lineno}: [{rule}] {message}")
+                failures += 1
+
+    if failures:
+        print(f"lint_sim: {failures} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_sim: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
