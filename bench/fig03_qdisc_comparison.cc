@@ -5,88 +5,117 @@
 // Expected shape: the AQMs cut the *network* (queueing) delay sharply, but
 // every discipline still leaves a non-negligible *endhost* (sender system)
 // delay — AQM alone cannot fix bufferbloat at the sender's socket buffer.
+//
+// The 20 cells are independent deterministic simulations, so this binary
+// drives them through the fleet runner (src/runner/fleet.h): on a multicore
+// host the grid fans out across workers, and the printed rows are identical
+// for any job count.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/runner/fleet.h"
 
 using namespace element;
 
 namespace {
 
-struct Scenario {
+struct Network {
   const char* name;
-  PathConfig path;
+  ScenarioSpec spec;  // path fields only; qdisc filled per cell
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  int jobs = static_cast<int>(flags.GetInt("jobs", DefaultJobs()));
+
   std::printf("=== Figure 3: delay composition per qdisc and network (ms) ===\n");
   std::printf("Setup: 3 TCP Cubic flows per cell, 60 s\n\n");
 
-  std::vector<Scenario> scenarios;
+  std::vector<Network> networks;
   {
-    Scenario s{"Wired (Low BW)", PathConfig{}};
-    s.path.rate = DataRate::Mbps(10);
-    s.path.one_way_delay = TimeDelta::FromMillis(25);
-    s.path.queue_limit_packets = 100;
-    scenarios.push_back(s);
+    Network n{"Wired (Low BW)", ScenarioSpec{}};
+    n.spec.rate_mbps = 10;
+    n.spec.rtt_ms = 50;
+    n.spec.queue_packets = 100;
+    networks.push_back(n);
   }
   {
-    Scenario s{"Wired (Low BW) +ECN", PathConfig{}};
-    s.path.rate = DataRate::Mbps(10);
-    s.path.one_way_delay = TimeDelta::FromMillis(25);
-    s.path.queue_limit_packets = 100;
-    s.path.ecn = true;
-    scenarios.push_back(s);
+    Network n{"Wired (Low BW) +ECN", ScenarioSpec{}};
+    n.spec.rate_mbps = 10;
+    n.spec.rtt_ms = 50;
+    n.spec.queue_packets = 100;
+    n.spec.ecn = true;
+    networks.push_back(n);
   }
   {
-    Scenario s{"Wired (High BW)", PathConfig{}};
-    s.path.rate = DataRate::Mbps(1000);
-    s.path.one_way_delay = TimeDelta::FromMicros(200);
-    s.path.queue_limit_packets = 1000;
-    scenarios.push_back(s);
+    Network n{"Wired (High BW)", ScenarioSpec{}};
+    n.spec.rate_mbps = 1000;
+    n.spec.rtt_ms = 0.4;  // 200 us one-way
+    n.spec.queue_packets = 1000;
+    networks.push_back(n);
   }
-  scenarios.push_back({"WiFi", WifiProfile()});
-  scenarios.push_back({"LTE", LteProfile()});
+  {
+    Network n{"WiFi", ScenarioSpec{}};
+    n.spec.profile = "wifi";
+    networks.push_back(n);
+  }
+  {
+    Network n{"LTE", ScenarioSpec{}};
+    n.spec.profile = "lte";
+    networks.push_back(n);
+  }
 
   const QdiscType kQdiscs[] = {QdiscType::kPfifoFast, QdiscType::kCoDel, QdiscType::kFqCoDel,
                                QdiscType::kPie};
 
+  std::vector<ScenarioSpec> specs;
+  for (const Network& network : networks) {
+    for (QdiscType q : kQdiscs) {
+      ScenarioSpec spec = network.spec;
+      spec.name = network.name;
+      spec.app = "legacy";
+      spec.qdisc = DescribeQdisc(q);
+      spec.cc = "cubic";
+      spec.num_flows = 3;
+      spec.duration_s = 60.0;
+      spec.seed = 7;
+      specs.push_back(spec);
+    }
+  }
+
+  FleetOptions options;
+  options.jobs = jobs;
+  FleetSummary fleet = RunFleet(specs, options);
+
   TablePrinter table(
       {"network", "qdisc", "sender(ms)", "network(ms)", "receiver(ms)", "total(ms)"});
   bool shape_ok = true;
-  for (const Scenario& scenario : scenarios) {
+  size_t cell = 0;
+  for (const Network& network : networks) {
     double pfifo_net = 0.0;
     double aqm_best_net = 1e18;
     double min_sender = 1e18;
     for (QdiscType q : kQdiscs) {
-      LegacyExperiment cfg;
-      cfg.path = scenario.path;
-      cfg.path.qdisc = q;
-      cfg.num_flows = 3;
-      cfg.duration_s = 60.0;
-      cfg.seed = 7;
-      std::vector<FlowResult> flows = RunLegacyExperiment(cfg);
-      double snd = 0;
-      double net = 0;
-      double rcv = 0;
-      for (const FlowResult& f : flows) {
-        snd += f.sender_delay_s / flows.size();
-        net += f.network_delay_s / flows.size();
-        rcv += f.receiver_delay_s / flows.size();
+      const ScenarioResult& result = fleet.results[cell++];
+      if (!result.ok) {
+        std::fprintf(stderr, "cell %s failed: %s\n", result.spec.Id().c_str(),
+                     result.error.c_str());
+        return 1;
       }
-      table.AddRow({scenario.name, DescribeQdisc(q), TablePrinter::Fmt(snd * 1000, 1),
-                    TablePrinter::Fmt(net * 1000, 1), TablePrinter::Fmt(rcv * 1000, 1),
-                    TablePrinter::Fmt((snd + net + rcv) * 1000, 1)});
+      MeanDelays delays = AverageDelays(result.flows);
+      AddDelayCompositionRow(&table, network.name, DescribeQdisc(q), delays);
       if (q == QdiscType::kPfifoFast) {
-        pfifo_net = net;
+        pfifo_net = delays.network_s;
       } else {
-        aqm_best_net = std::min(aqm_best_net, net);
+        aqm_best_net = std::min(aqm_best_net, delays.network_s);
       }
-      min_sender = std::min(min_sender, snd);
+      min_sender = std::min(min_sender, delays.sender_s);
     }
     // Shape: AQMs reduce network queueing vs pfifo_fast, yet a material
     // sender-side delay remains under every discipline (except trivially on

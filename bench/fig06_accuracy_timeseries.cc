@@ -72,14 +72,16 @@ int main() {
     std::printf("%-8d %-12.4f %-12.4f\n", t, est, gt);
   }
 
-  AccuracyResult snd_acc =
+  AccuracyRun acc;
+  acc.sender =
       ScoreEstimates(em_snd.sender_estimator().delay_series(), tracer.sender_delay_series());
-  AccuracyResult rcv_acc = ScoreEstimates(em_rcv.receiver_estimator().delay_series(),
-                                          tracer.receiver_delay_series());
+  acc.receiver = ScoreEstimates(em_rcv.receiver_estimator().delay_series(),
+                                tracer.receiver_delay_series());
+  const AccuracyResult& snd_acc = acc.sender;
+  const AccuracyResult& rcv_acc = acc.receiver;
 
   std::printf("\n--- Fig 6c: estimation-error CDF (s) ---\n");
-  std::printf("%s", snd_acc.errors.CdfRows(kCdfQuantiles, "sender error").c_str());
-  std::printf("%s", rcv_acc.errors.CdfRows(kCdfQuantiles, "receiver error").c_str());
+  PrintErrorCdfRows(acc, "sender error", "receiver error");
 
   std::printf("\nsender accuracy:   %.1f%% (median |err| %.4f s, n=%zu)\n",
               snd_acc.accuracy * 100, snd_acc.median_abs_error_s, snd_acc.compared_samples);

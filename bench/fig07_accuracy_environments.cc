@@ -5,33 +5,48 @@
 //
 // Expected shape: receiver-side more accurate than sender-side; sender-side
 // accuracy improves with bandwidth; no clear RTT correlation.
+//
+// The 12 cells run through the fleet runner; rows are printed in cell order
+// and are identical for any --jobs value.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/runner/fleet.h"
 
 using namespace element;
 
 namespace {
 
+ScenarioSpec Wired(double mbps, double rtt_ms) {
+  ScenarioSpec spec;
+  spec.profile = "wired";
+  spec.rate_mbps = mbps;
+  spec.rtt_ms = rtt_ms;
+  spec.queue_packets = 0;  // auto: max(60, 2 * BDP)
+  return spec;
+}
+
+ScenarioSpec Profile(const char* name) {
+  ScenarioSpec spec;
+  spec.profile = name;
+  return spec;
+}
+
 struct Cell {
   const char* name;
-  PathConfig path;
+  ScenarioSpec spec;
 };
-
-PathConfig Wired(double mbps, int64_t rtt_ms) {
-  PathConfig p;
-  p.rate = DataRate::Mbps(mbps);
-  p.one_way_delay = TimeDelta::FromMillis(rtt_ms / 2);
-  double bdp_pkts = mbps * 1e6 / 8.0 * static_cast<double>(rtt_ms) * 1e-3 / 1500.0;
-  p.queue_limit_packets = static_cast<size_t>(std::max(60.0, 2.0 * bdp_pkts));
-  return p;
-}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  int jobs = static_cast<int>(flags.GetInt("jobs", DefaultJobs()));
+
   std::printf("=== Figure 7: estimation-error CDFs across environments ===\n");
   std::printf("Setup: single Cubic flow per cell, 30 s, 10 ms tracker period\n\n");
 
@@ -44,28 +59,42 @@ int main() {
       {"(f) 10 Mbps / 100ms RTT", Wired(10, 100)},
       {"(g) 10 Mbps / 150ms RTT", Wired(10, 150)},
       {"(h) 10 Mbps / 200ms RTT", Wired(10, 200)},
-      {"(i) LAN", LanProfile()},
-      {"(j) Cable", CableProfile()},
-      {"(k) WiFi", WifiProfile()},
-      {"(l) LTE", LteProfile()},
+      {"(i) LAN", Profile("lan")},
+      {"(j) Cable", Profile("cable")},
+      {"(k) WiFi", Profile("wifi")},
+      {"(l) LTE", Profile("lte")},
   };
+
+  std::vector<ScenarioSpec> specs;
+  uint64_t seed = 300;
+  for (const Cell& cell : cells) {
+    ScenarioSpec spec = cell.spec;
+    spec.name = cell.name;
+    spec.app = "accuracy";
+    spec.duration_s = 30.0;
+    spec.tracker_period_ms = 10.0;
+    spec.seed = seed++;
+    specs.push_back(spec);
+  }
+
+  FleetOptions options;
+  options.jobs = jobs;
+  FleetSummary fleet = RunFleet(specs, options);
 
   TablePrinter table({"environment", "side", "err p50 (s)", "err p90 (s)", "err p99 (s)",
                       "accuracy"});
   double bw_sweep_acc[4] = {0, 0, 0, 0};
   int receiver_wins = 0;
   int n_cells = 0;
-  uint64_t seed = 300;
-  for (const Cell& cell : cells) {
-    AccuracyRun run = RunAccuracyExperiment(seed++, cell.path, 30.0);
-    table.AddRow({cell.name, "sender", TablePrinter::Fmt(run.sender.errors.Quantile(0.5), 4),
-                  TablePrinter::Fmt(run.sender.errors.Quantile(0.9), 4),
-                  TablePrinter::Fmt(run.sender.errors.Quantile(0.99), 4),
-                  TablePrinter::Fmt(run.sender.accuracy * 100, 1) + "%"});
-    table.AddRow({"", "receiver", TablePrinter::Fmt(run.receiver.errors.Quantile(0.5), 4),
-                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.9), 4),
-                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.99), 4),
-                  TablePrinter::Fmt(run.receiver.accuracy * 100, 1) + "%"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioResult& result = fleet.results[i];
+    if (!result.ok) {
+      std::fprintf(stderr, "cell %s failed: %s\n", result.spec.Id().c_str(),
+                   result.error.c_str());
+      return 1;
+    }
+    const AccuracyRun& run = result.accuracy;
+    AddAccuracyRows(&table, cells[i].name, run);
     if (n_cells < 4) {
       bw_sweep_acc[n_cells] = run.sender.accuracy;
     }

@@ -33,25 +33,13 @@ int main() {
 
   TablePrinter table({"scenario", "side", "err p50 (s)", "err p90 (s)", "err p99 (s)",
                       "accuracy"});
-  auto add = [&](const char* name, const AccuracyRun& run) {
-    table.AddRow({name, "sender", TablePrinter::Fmt(run.sender.errors.Quantile(0.5), 4),
-                  TablePrinter::Fmt(run.sender.errors.Quantile(0.9), 4),
-                  TablePrinter::Fmt(run.sender.errors.Quantile(0.99), 4),
-                  TablePrinter::Fmt(run.sender.accuracy * 100, 1) + "%"});
-    table.AddRow({"", "receiver", TablePrinter::Fmt(run.receiver.errors.Quantile(0.5), 4),
-                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.9), 4),
-                  TablePrinter::Fmt(run.receiver.errors.Quantile(0.99), 4),
-                  TablePrinter::Fmt(run.receiver.accuracy * 100, 1) + "%"});
-  };
-  add("(a) dynamic bandwidth", dyn_run);
-  add("(b) background traffic", bg_run);
+  AddAccuracyRows(&table, "(a) dynamic bandwidth", dyn_run);
+  AddAccuracyRows(&table, "(b) background traffic", bg_run);
   std::printf("%s\n", table.Render().c_str());
 
   std::printf("--- full error CDFs ---\n");
-  std::printf("%s", dyn_run.sender.errors.CdfRows(kCdfQuantiles, "dyn-bw sender").c_str());
-  std::printf("%s", dyn_run.receiver.errors.CdfRows(kCdfQuantiles, "dyn-bw receiver").c_str());
-  std::printf("%s", bg_run.sender.errors.CdfRows(kCdfQuantiles, "bg sender").c_str());
-  std::printf("%s", bg_run.receiver.errors.CdfRows(kCdfQuantiles, "bg receiver").c_str());
+  PrintErrorCdfRows(dyn_run, "dyn-bw sender", "dyn-bw receiver");
+  PrintErrorCdfRows(bg_run, "bg sender", "bg receiver");
 
   bool shape_ok = dyn_run.sender.accuracy > 0.80 && bg_run.sender.accuracy > 0.80 &&
                   bg_run.sender.accuracy >= dyn_run.sender.accuracy - 0.10;

@@ -1,6 +1,7 @@
-// Shared experiment runners for the per-figure benchmark binaries. Each
-// bench binary configures one of these experiments with the parameters of a
-// specific table/figure from the paper and prints the corresponding rows.
+// Shared printing helpers for the per-figure benchmark binaries. The
+// experiment runners themselves live in src/runner/experiment.h (so the fleet
+// executor can drive them too); this layer owns the figure-facing formatting
+// that used to be copy-pasted across bench/fig*.cc.
 
 #ifndef ELEMENT_BENCH_HARNESS_H_
 #define ELEMENT_BENCH_HARNESS_H_
@@ -9,58 +10,33 @@
 #include <vector>
 
 #include "src/common/stats.h"
-#include "src/element/estimation_error.h"
-#include "src/tcpsim/testbed.h"
-#include "src/trace/ground_truth.h"
+#include "src/runner/experiment.h"
 
 namespace element {
-
-struct FlowResult {
-  std::string label;
-  double goodput_mbps = 0.0;
-  double sender_delay_s = 0.0;
-  double network_delay_s = 0.0;
-  double receiver_delay_s = 0.0;
-  double e2e_delay_s = 0.0;
-  // End-to-end delay above the observed floor — the paper's "relative delay".
-  double relative_delay_s = 0.0;
-  double sender_delay_stdev_s = 0.0;
-  double receiver_delay_stdev_s = 0.0;
-  uint64_t retransmits = 0;
-};
-
-struct LegacyExperiment {
-  PathConfig path;
-  std::string congestion_control = "cubic";
-  int num_flows = 3;
-  // Flow 0 runs through the ELEMENT interposer (LD_PRELOAD analogue).
-  bool element_on_first = false;
-  bool element_wireless = false;  // LTE/WiFi mode of Algorithm 3
-  bool sender_at_client = true;   // false = "download" over the reverse pipe
-  double duration_s = 30.0;
-  double warmup_s = 3.0;  // excluded from delay statistics
-  uint64_t seed = 1;
-};
-
-// Runs N iperf-style flows over one path; returns per-flow results.
-std::vector<FlowResult> RunLegacyExperiment(const LegacyExperiment& cfg);
-
-struct AccuracyRun {
-  AccuracyResult sender;
-  AccuracyResult receiver;
-  GroundTruthTracer::Composition composition;
-  double goodput_mbps = 0.0;
-};
-
-// One measured (minimization off) flow: ELEMENT estimates vs ground truth.
-AccuracyRun RunAccuracyExperiment(uint64_t seed, const PathConfig& path, double duration_s,
-                                  TimeDelta tracker_period = TimeDelta::FromMillis(10),
-                                  int background_flows = 0);
 
 // CDF quantiles used when reproducing the paper's CDF figures as rows.
 extern const std::vector<double> kCdfQuantiles;
 
-std::string DescribeQdisc(QdiscType type);
+// Mean delay decomposition across a scenario's flows, in seconds.
+struct MeanDelays {
+  double sender_s = 0.0;
+  double network_s = 0.0;
+  double receiver_s = 0.0;
+  double total_s() const { return sender_s + network_s + receiver_s; }
+};
+MeanDelays AverageDelays(const std::vector<FlowResult>& flows);
+
+// The Fig. 3-style table row: per-component mean delays in milliseconds.
+void AddDelayCompositionRow(TablePrinter* table, const std::string& network,
+                            const std::string& qdisc, const MeanDelays& delays);
+
+// The Fig. 7/8-style pair of rows: sender then receiver error quantiles plus
+// the scalar accuracy summary.
+void AddAccuracyRows(TablePrinter* table, const std::string& name, const AccuracyRun& run);
+
+// The Fig. 6c/8-style full error CDF rows for both sides.
+void PrintErrorCdfRows(const AccuracyRun& run, const std::string& sender_label,
+                       const std::string& receiver_label);
 
 }  // namespace element
 

@@ -1,6 +1,7 @@
 #include "src/common/flags.h"
 
 #include <cstdlib>
+#include <thread>
 
 namespace element {
 
@@ -62,6 +63,30 @@ bool Flags::GetBool(const std::string& name, bool def) const {
     return def;
   }
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+int DefaultJobs() {
+  if (const char* env = std::getenv("ELEMENT_JOBS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+RunnerFlags ParseRunnerFlags(const Flags& flags) {
+  RunnerFlags out;
+  out.jobs = static_cast<int>(flags.GetInt("jobs", DefaultJobs()));
+  if (out.jobs < 1) {
+    out.jobs = 1;
+  }
+  out.seed_offset = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  out.out = flags.GetString("out", "");
+  out.scenarios = flags.GetString("scenarios", "");
+  return out;
 }
 
 std::vector<std::string> Flags::UnusedFlags() const {

@@ -37,6 +37,21 @@ class Flags {
   std::string error_;
 };
 
+// Worker-count default for parallel drivers: the ELEMENT_JOBS environment
+// variable when set to a positive integer, else hardware_concurrency()
+// (minimum 1 when the runtime reports 0).
+int DefaultJobs();
+
+// The standard fleet-runner flag set, shared by `element_fleet` and any other
+// sweep-driving binary.
+struct RunnerFlags {
+  int jobs = 1;               // --jobs, ELEMENT_JOBS env fallback, DefaultJobs()
+  uint64_t seed_offset = 0;   // --seed, added to every expanded scenario seed
+  std::string out;            // --out, results JSON path ("" = stdout)
+  std::string scenarios;      // --scenarios, suite spec path
+};
+RunnerFlags ParseRunnerFlags(const Flags& flags);
+
 }  // namespace element
 
 #endif  // ELEMENT_SRC_COMMON_FLAGS_H_

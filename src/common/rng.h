@@ -2,6 +2,12 @@
 //
 // Every experiment takes an explicit seed so that runs are reproducible;
 // components that need independent streams Fork() a child generator.
+//
+// Rng is NOT thread-safe: every draw mutates the engine state, and concurrent
+// draws would both race and destroy reproducibility. Parallel drivers (the
+// src/runner/ fleet) must give each worker its own generator derived from the
+// scenario seed — fork per unit of work, never share an instance across
+// threads.
 
 #ifndef ELEMENT_SRC_COMMON_RNG_H_
 #define ELEMENT_SRC_COMMON_RNG_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/common/check.h"
+
 namespace element {
 
 void RunningStats::Add(double x) {
@@ -56,6 +58,14 @@ void SampleSet::Add(double x) {
   sorted_valid_ = false;
 }
 
+void SampleSet::Merge(const SampleSet& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
 double SampleSet::mean() const {
   if (samples_.empty()) {
     return 0.0;
@@ -100,6 +110,7 @@ void SampleSet::EnsureSorted() const {
 double SampleSet::Quantile(double q) const {
   EnsureSorted();
   if (sorted_.empty()) {
+    ELEMENT_DCHECK(false) << "SampleSet::Quantile(" << q << ") on an empty set";
     return 0.0;
   }
   if (q <= 0.0) {
@@ -136,6 +147,117 @@ std::string SampleSet::CdfRows(const std::vector<double>& quantiles,
     os << buf;
   }
   return os.str();
+}
+
+Histogram::Histogram(double floor, double ceiling, int bins_per_decade)
+    : floor_(floor), ceiling_(ceiling), bins_per_decade_(bins_per_decade) {
+  ELEMENT_CHECK(floor > 0.0 && ceiling > floor && bins_per_decade > 0)
+      << "bad histogram geometry: [" << floor << ", " << ceiling << ") x " << bins_per_decade;
+  log_floor_ = std::log10(floor_);
+  double decades = std::log10(ceiling_) - log_floor_;
+  size_t nbins = static_cast<size_t>(std::ceil(decades * bins_per_decade_ - 1e-9));
+  bins_.assign(nbins, 0);
+}
+
+void Histogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (!(x >= floor_)) {  // also catches x <= 0 and NaN
+    ++underflow_;
+    return;
+  }
+  if (x >= ceiling_) {
+    ++overflow_;
+    return;
+  }
+  double pos = (std::log10(x) - log_floor_) * static_cast<double>(bins_per_decade_);
+  size_t idx = pos <= 0.0 ? 0 : static_cast<size_t>(pos);
+  if (idx >= bins_.size()) {  // log10 rounding at the top edge
+    idx = bins_.size() - 1;
+  }
+  ++bins_[idx];
+}
+
+bool Histogram::SameGeometry(const Histogram& other) const {
+  return floor_ == other.floor_ && ceiling_ == other.ceiling_ &&
+         bins_per_decade_ == other.bins_per_decade_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ELEMENT_CHECK(SameGeometry(other))
+      << "Histogram::Merge with mismatched geometry: [" << floor_ << ", " << ceiling_ << ") x "
+      << bins_per_decade_ << " vs [" << other.floor_ << ", " << other.ceiling_ << ") x "
+      << other.bins_per_decade_;
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::BinLowerEdge(size_t i) const {
+  return std::pow(10.0, log_floor_ + static_cast<double>(i) / bins_per_decade_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    ELEMENT_DCHECK(false) << "Histogram::Quantile(" << q << ") on an empty histogram";
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  // Rank of the requested order statistic (1-based).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_)) + 1;
+  if (rank > count_) {
+    rank = count_;
+  }
+  double value;
+  if (rank <= underflow_) {
+    value = min_;
+  } else {
+    uint64_t cum = underflow_;
+    size_t i = 0;
+    for (; i < bins_.size(); ++i) {
+      if (cum + bins_[i] >= rank) {
+        break;
+      }
+      cum += bins_[i];
+    }
+    if (i == bins_.size()) {
+      value = max_;  // rank lands in the overflow region
+    } else {
+      // Geometric interpolation across the bin by rank fraction.
+      double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(bins_[i]);
+      double lo = std::log10(BinLowerEdge(i));
+      double hi = lo + 1.0 / static_cast<double>(bins_per_decade_);
+      value = std::pow(10.0, lo + (hi - lo) * frac);
+    }
+  }
+  return std::min(std::max(value, min_), max_);
 }
 
 void TimeSeries::Add(SimTime t, double v) { points_.push_back({t, v}); }

@@ -1,0 +1,99 @@
+// Experiment runners shared by the bench binaries and the fleet executor.
+// Each runner builds a Testbed for one scenario, drives it to completion on
+// the calling thread, and returns plain-value results. Runs are deterministic
+// in the seed and fully isolated (each owns its EventLoop and Rng), which is
+// what makes them safe to fan out across fleet worker threads.
+
+#ifndef ELEMENT_SRC_RUNNER_EXPERIMENT_H_
+#define ELEMENT_SRC_RUNNER_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/element/estimation_error.h"
+#include "src/runner/scenario.h"
+#include "src/tcpsim/testbed.h"
+#include "src/trace/ground_truth.h"
+
+namespace element {
+
+struct FlowResult {
+  std::string label;
+  double goodput_mbps = 0.0;
+  double sender_delay_s = 0.0;
+  double network_delay_s = 0.0;
+  double receiver_delay_s = 0.0;
+  double e2e_delay_s = 0.0;
+  // End-to-end delay above the observed floor — the paper's "relative delay".
+  double relative_delay_s = 0.0;
+  double sender_delay_stdev_s = 0.0;
+  double receiver_delay_stdev_s = 0.0;
+  uint64_t retransmits = 0;
+};
+
+struct LegacyExperiment {
+  PathConfig path;
+  std::string congestion_control = "cubic";
+  int num_flows = 3;
+  // Flow 0 runs through the ELEMENT interposer (LD_PRELOAD analogue).
+  bool element_on_first = false;
+  bool element_wireless = false;  // LTE/WiFi mode of Algorithm 3
+  bool sender_at_client = true;   // false = "download" over the reverse pipe
+  double duration_s = 30.0;
+  double warmup_s = 3.0;  // excluded from delay statistics
+  uint64_t seed = 1;
+};
+
+// Runs N iperf-style flows over one path; returns per-flow results.
+std::vector<FlowResult> RunLegacyExperiment(const LegacyExperiment& cfg);
+
+struct AccuracyRun {
+  AccuracyResult sender;
+  AccuracyResult receiver;
+  GroundTruthTracer::Composition composition;
+  double goodput_mbps = 0.0;
+};
+
+// One measured (minimization off) flow: ELEMENT estimates vs ground truth.
+AccuracyRun RunAccuracyExperiment(uint64_t seed, const PathConfig& path, double duration_s,
+                                  TimeDelta tracker_period = TimeDelta::FromMillis(10),
+                                  int background_flows = 0);
+
+// The fleet's unit of work: everything one scenario produced. Raw per-flow
+// rows and accuracy sample sets are kept for figure printing; the histograms
+// are the mergeable summaries the aggregate layer folds together.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  bool ok = false;
+  bool cancelled = false;
+  std::string error;
+
+  std::vector<FlowResult> flows;  // legacy app
+  bool has_accuracy = false;
+  AccuracyRun accuracy;  // accuracy app
+
+  // Mergeable summaries, all in seconds. Legacy runs contribute one sample
+  // per flow (mean delays); accuracy runs contribute one sample per estimate
+  // (absolute error).
+  Histogram sender_delay_s;
+  Histogram network_delay_s;
+  Histogram receiver_delay_s;
+  Histogram e2e_delay_s;
+  Histogram sender_err_s;
+  Histogram receiver_err_s;
+  RunningStats goodput_mbps;
+  uint64_t retransmits = 0;
+
+  // Wall-clock cost of the run (harness metric; never part of deterministic
+  // output).
+  double wall_seconds = 0.0;
+};
+
+// Runs one scenario on the calling thread. Validation problems and workload
+// exceptions are reported via ok/error rather than thrown.
+ScenarioResult ExecuteScenario(const ScenarioSpec& spec);
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_RUNNER_EXPERIMENT_H_

@@ -1,0 +1,249 @@
+#include "src/runner/fleet.h"
+
+#include <atomic>
+#include <chrono>  // lint_sim: allow(wall-clock) -- harness timing, not sim state
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace element {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {  // lint_sim: allow(wall-clock)
+  auto now = std::chrono::steady_clock::now();  // lint_sim: allow(wall-clock)
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace
+
+FleetSummary RunFleet(const std::vector<ScenarioSpec>& specs, const FleetOptions& options) {
+  FleetSummary summary;
+  summary.results.resize(specs.size());
+  if (specs.empty()) {
+    summary.jobs = 1;
+    return summary;
+  }
+
+  ScenarioRunFn run = options.run ? options.run : ScenarioRunFn(&ExecuteScenario);
+  int jobs = options.jobs < 1 ? 1 : options.jobs;
+  if (static_cast<size_t>(jobs) > specs.size()) {
+    jobs = static_cast<int>(specs.size());
+  }
+  summary.jobs = jobs;
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<size_t> finished{0};
+  std::mutex progress_mu;
+
+  auto start = std::chrono::steady_clock::now();  // lint_sim: allow(wall-clock)
+
+  auto worker = [&]() {
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) {
+        return;
+      }
+      ScenarioResult& slot = summary.results[i];
+      if (options.cancel_on_failure && cancelled.load(std::memory_order_acquire)) {
+        slot.spec = specs[i];
+        slot.cancelled = true;
+        slot.error = "cancelled: an earlier scenario failed";
+        continue;
+      }
+      auto run_start = std::chrono::steady_clock::now();  // lint_sim: allow(wall-clock)
+      slot = run(specs[i]);
+      slot.wall_seconds = SecondsSince(run_start);
+      if (!slot.ok && !slot.cancelled) {
+        cancelled.store(true, std::memory_order_release);
+      }
+      size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        FleetProgress p;
+        p.finished = done;
+        p.total = specs.size();
+        p.last = &slot;
+        options.progress(p);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  summary.wall_seconds = SecondsSince(start);
+  for (const ScenarioResult& r : summary.results) {
+    if (r.cancelled) {
+      ++summary.cancelled;
+    } else if (r.ok) {
+      ++summary.completed;
+    } else {
+      ++summary.failed;
+    }
+  }
+  return summary;
+}
+
+void FleetAggregate::Add(const ScenarioResult& result) {
+  ELEMENT_DCHECK(result.ok) << "aggregating a failed scenario: " << result.spec.Id();
+  ++scenarios;
+  flows += result.flows.size();
+  retransmits += result.retransmits;
+  sender_delay_s.Merge(result.sender_delay_s);
+  network_delay_s.Merge(result.network_delay_s);
+  receiver_delay_s.Merge(result.receiver_delay_s);
+  e2e_delay_s.Merge(result.e2e_delay_s);
+  sender_err_s.Merge(result.sender_err_s);
+  receiver_err_s.Merge(result.receiver_err_s);
+  goodput_mbps.Merge(result.goodput_mbps);
+}
+
+void FleetAggregate::Merge(const FleetAggregate& other) {
+  scenarios += other.scenarios;
+  flows += other.flows;
+  retransmits += other.retransmits;
+  sender_delay_s.Merge(other.sender_delay_s);
+  network_delay_s.Merge(other.network_delay_s);
+  receiver_delay_s.Merge(other.receiver_delay_s);
+  e2e_delay_s.Merge(other.e2e_delay_s);
+  sender_err_s.Merge(other.sender_err_s);
+  receiver_err_s.Merge(other.receiver_err_s);
+  goodput_mbps.Merge(other.goodput_mbps);
+}
+
+FleetAggregate AggregateResults(const std::vector<ScenarioResult>& results) {
+  FleetAggregate agg;
+  for (const ScenarioResult& r : results) {
+    if (r.ok) {
+      agg.Add(r);
+    }
+  }
+  return agg;
+}
+
+namespace {
+
+json::Value HistogramJson(const Histogram& h) {
+  json::Value obj = json::Value::Object();
+  obj.Set("count", json::Value::Int(static_cast<int64_t>(h.count())));
+  if (h.count() == 0) {
+    return obj;
+  }
+  obj.Set("mean", json::Value::Number(h.mean()));
+  obj.Set("min", json::Value::Number(h.min()));
+  obj.Set("max", json::Value::Number(h.max()));
+  obj.Set("p50", json::Value::Number(h.Quantile(0.50)));
+  obj.Set("p90", json::Value::Number(h.Quantile(0.90)));
+  obj.Set("p95", json::Value::Number(h.Quantile(0.95)));
+  obj.Set("p99", json::Value::Number(h.Quantile(0.99)));
+  return obj;
+}
+
+json::Value StatsJson(const RunningStats& s) {
+  json::Value obj = json::Value::Object();
+  obj.Set("count", json::Value::Int(static_cast<int64_t>(s.count())));
+  if (s.count() == 0) {
+    return obj;
+  }
+  obj.Set("mean", json::Value::Number(s.mean()));
+  obj.Set("stdev", json::Value::Number(s.Stdev()));
+  obj.Set("min", json::Value::Number(s.min()));
+  obj.Set("max", json::Value::Number(s.max()));
+  return obj;
+}
+
+}  // namespace
+
+json::Value FleetAggregate::ToJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("scenarios", json::Value::Int(static_cast<int64_t>(scenarios)));
+  obj.Set("flows", json::Value::Int(static_cast<int64_t>(flows)));
+  obj.Set("retransmits", json::Value::Int(static_cast<int64_t>(retransmits)));
+  obj.Set("sender_delay_s", HistogramJson(sender_delay_s));
+  obj.Set("network_delay_s", HistogramJson(network_delay_s));
+  obj.Set("receiver_delay_s", HistogramJson(receiver_delay_s));
+  obj.Set("e2e_delay_s", HistogramJson(e2e_delay_s));
+  obj.Set("sender_err_s", HistogramJson(sender_err_s));
+  obj.Set("receiver_err_s", HistogramJson(receiver_err_s));
+  obj.Set("goodput_mbps", StatsJson(goodput_mbps));
+  return obj;
+}
+
+json::Value ResultRowJson(const ScenarioResult& result) {
+  json::Value row = json::Value::Object();
+  row.Set("id", json::Value::Str(result.spec.Id()));
+  row.Set("seed", json::Value::Int(static_cast<int64_t>(result.spec.seed)));
+  row.Set("app", json::Value::Str(result.spec.app));
+  row.Set("profile", json::Value::Str(result.spec.profile));
+  row.Set("qdisc", json::Value::Str(result.spec.qdisc));
+  row.Set("cc", json::Value::Str(result.spec.cc));
+  if (result.cancelled) {
+    row.Set("status", json::Value::Str("cancelled"));
+    return row;
+  }
+  if (!result.ok) {
+    row.Set("status", json::Value::Str("failed"));
+    row.Set("error", json::Value::Str(result.error));
+    return row;
+  }
+  row.Set("status", json::Value::Str("ok"));
+  row.Set("goodput_mbps", StatsJson(result.goodput_mbps));
+  row.Set("sender_delay_s", HistogramJson(result.sender_delay_s));
+  row.Set("network_delay_s", HistogramJson(result.network_delay_s));
+  row.Set("receiver_delay_s", HistogramJson(result.receiver_delay_s));
+  row.Set("e2e_delay_s", HistogramJson(result.e2e_delay_s));
+  row.Set("retransmits", json::Value::Int(static_cast<int64_t>(result.retransmits)));
+  if (result.has_accuracy) {
+    json::Value acc = json::Value::Object();
+    acc.Set("sender_accuracy", json::Value::Number(result.accuracy.sender.accuracy));
+    acc.Set("receiver_accuracy", json::Value::Number(result.accuracy.receiver.accuracy));
+    acc.Set("sender_err_s", HistogramJson(result.sender_err_s));
+    acc.Set("receiver_err_s", HistogramJson(result.receiver_err_s));
+    row.Set("accuracy", std::move(acc));
+  }
+  return row;
+}
+
+json::Value FleetReportJson(const std::string& suite, const FleetSummary& summary,
+                            bool deterministic) {
+  json::Value doc = json::Value::Object();
+  doc.Set("suite", json::Value::Str(suite));
+  json::Value counts = json::Value::Object();
+  counts.Set("total", json::Value::Int(static_cast<int64_t>(summary.results.size())));
+  counts.Set("completed", json::Value::Int(static_cast<int64_t>(summary.completed)));
+  counts.Set("failed", json::Value::Int(static_cast<int64_t>(summary.failed)));
+  counts.Set("cancelled", json::Value::Int(static_cast<int64_t>(summary.cancelled)));
+  doc.Set("counts", std::move(counts));
+  json::Value rows = json::Value::Array();
+  for (const ScenarioResult& r : summary.results) {
+    rows.Append(ResultRowJson(r));
+  }
+  doc.Set("scenarios", std::move(rows));
+  doc.Set("aggregate", AggregateResults(summary.results).ToJson());
+  if (!deterministic) {
+    json::Value timing = json::Value::Object();
+    timing.Set("jobs", json::Value::Int(summary.jobs));
+    timing.Set("wall_seconds", json::Value::Number(summary.wall_seconds));
+    double rate = summary.wall_seconds > 0.0
+                      ? static_cast<double>(summary.completed) / summary.wall_seconds
+                      : 0.0;
+    timing.Set("scenarios_per_second", json::Value::Number(rate));
+    doc.Set("timing", std::move(timing));
+  }
+  return doc;
+}
+
+}  // namespace element

@@ -1,0 +1,176 @@
+// element_fleet: run a scenario suite across worker threads and emit a
+// machine-readable JSON report.
+//
+//   element_fleet --scenarios scenarios/demo_qdisc_cc.json --jobs 8 --out results.json
+//
+// Flags (see docs/runner.md):
+//   --scenarios PATH  suite spec (also accepted as a positional argument)
+//   --jobs N          worker threads (ELEMENT_JOBS env, then hardware default)
+//   --seed S          offset added to every scenario seed
+//   --out PATH        write the report JSON here (default: stdout)
+//   --list            print expanded scenario ids and exit
+//   --quiet           suppress the stderr progress line
+//   --bench-out PATH  run the suite at --jobs 1 and then --jobs N, verify the
+//                     aggregates are byte-identical, and write a BENCH_*.json
+//                     speedup record
+//
+// The deterministic part of the report (per-scenario rows + aggregate) is
+// byte-identical for any --jobs value; timing lives in a separate section.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "src/common/flags.h"
+#include "src/runner/fleet.h"
+
+namespace element {
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+FleetSummary RunWithProgress(const ScenarioSuite& suite, int jobs, bool quiet) {
+  FleetOptions options;
+  options.jobs = jobs;
+  if (!quiet) {
+    options.progress = [](const FleetProgress& p) {
+      if (!p.last->ok && !p.last->cancelled) {
+        std::fprintf(stderr, "\nFAILED %s: %s\n", p.last->spec.Id().c_str(),
+                     p.last->error.c_str());
+      }
+      std::fprintf(stderr, "\r[%zu/%zu] %s", p.finished, p.total, p.last->spec.Id().c_str());
+      if (p.finished == p.total) {
+        std::fprintf(stderr, "\n");
+      }
+    };
+  }
+  return RunFleet(suite.scenarios, options);
+}
+
+int BenchMode(const ScenarioSuite& suite, int jobs, const std::string& bench_path, bool quiet) {
+  if (!quiet) {
+    std::fprintf(stderr, "bench: running %zu scenarios with --jobs 1\n",
+                 suite.scenarios.size());
+  }
+  FleetSummary serial = RunWithProgress(suite, 1, quiet);
+  if (!quiet) {
+    std::fprintf(stderr, "bench: running %zu scenarios with --jobs %d\n",
+                 suite.scenarios.size(), jobs);
+  }
+  FleetSummary parallel = RunWithProgress(suite, jobs, quiet);
+
+  std::string serial_json = FleetReportJson(suite.name, serial, /*deterministic=*/true).Dump();
+  std::string parallel_json =
+      FleetReportJson(suite.name, parallel, /*deterministic=*/true).Dump();
+  bool identical = serial_json == parallel_json;
+
+  json::Value bench = json::Value::Object();
+  bench.Set("bench", json::Value::Str("fleet"));
+  bench.Set("suite", json::Value::Str(suite.name));
+  bench.Set("scenarios", json::Value::Int(static_cast<int64_t>(suite.scenarios.size())));
+  bench.Set("hardware_concurrency",
+            json::Value::Int(static_cast<int64_t>(std::thread::hardware_concurrency())));
+  bench.Set("jobs_serial", json::Value::Int(serial.jobs));
+  bench.Set("jobs_parallel", json::Value::Int(parallel.jobs));
+  bench.Set("serial_wall_s", json::Value::Number(serial.wall_seconds));
+  bench.Set("parallel_wall_s", json::Value::Number(parallel.wall_seconds));
+  double serial_rate = serial.wall_seconds > 0.0
+                           ? static_cast<double>(serial.completed) / serial.wall_seconds
+                           : 0.0;
+  double parallel_rate = parallel.wall_seconds > 0.0
+                             ? static_cast<double>(parallel.completed) / parallel.wall_seconds
+                             : 0.0;
+  bench.Set("scenarios_per_second_serial", json::Value::Number(serial_rate));
+  bench.Set("scenarios_per_second_parallel", json::Value::Number(parallel_rate));
+  bench.Set("speedup", json::Value::Number(parallel.wall_seconds > 0.0
+                                               ? serial.wall_seconds / parallel.wall_seconds
+                                               : 0.0));
+  bench.Set("aggregate_identical", json::Value::Bool(identical));
+  std::string text = bench.Dump() + "\n";
+  if (!WriteFile(bench_path, text)) {
+    std::fprintf(stderr, "element_fleet: cannot write %s\n", bench_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s", text.c_str());
+  if (!identical) {
+    std::fprintf(stderr,
+                 "element_fleet: FATAL: aggregate JSON differs between --jobs 1 and "
+                 "--jobs %d\n",
+                 jobs);
+    return 1;
+  }
+  return serial.failed + parallel.failed == 0 ? 0 : 1;
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  RunnerFlags rf = ParseRunnerFlags(flags);
+  bool list_only = flags.GetBool("list");
+  bool quiet = flags.GetBool("quiet");
+  std::string bench_out = flags.GetString("bench-out", "");
+
+  std::string suite_path = rf.scenarios;
+  if (suite_path.empty() && !flags.positional().empty()) {
+    suite_path = flags.positional().front();
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "element_fleet: unknown flag --%s\n", unused.c_str());
+    return 2;
+  }
+  if (suite_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: element_fleet --scenarios SUITE.json [--jobs N] [--seed S]\n"
+                 "                     [--out results.json] [--bench-out BENCH_fleet.json]\n"
+                 "                     [--list] [--quiet]\n");
+    return 2;
+  }
+
+  ScenarioSuite suite;
+  std::string error;
+  if (!ScenarioSuite::LoadFile(suite_path, &suite, &error)) {
+    std::fprintf(stderr, "element_fleet: %s\n", error.c_str());
+    return 2;
+  }
+  suite.OffsetSeeds(rf.seed_offset);
+
+  if (list_only) {
+    for (const ScenarioSpec& spec : suite.scenarios) {
+      std::printf("%s\n", spec.Id().c_str());
+    }
+    return 0;
+  }
+
+  if (!bench_out.empty()) {
+    return BenchMode(suite, rf.jobs, bench_out, quiet);
+  }
+
+  FleetSummary summary = RunWithProgress(suite, rf.jobs, quiet);
+  std::string report =
+      FleetReportJson(suite.name, summary, /*deterministic=*/false).Dump() + "\n";
+  if (rf.out.empty()) {
+    std::printf("%s", report.c_str());
+  } else if (!WriteFile(rf.out, report)) {
+    std::fprintf(stderr, "element_fleet: cannot write %s\n", rf.out.c_str());
+    return 1;
+  }
+  if (summary.failed > 0) {
+    std::fprintf(stderr, "element_fleet: %zu scenario(s) failed, %zu cancelled\n",
+                 summary.failed, summary.cancelled);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace element
+
+int main(int argc, char** argv) { return element::Main(argc, argv); }

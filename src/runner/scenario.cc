@@ -1,0 +1,429 @@
+#include "src/runner/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace element {
+
+std::string DescribeQdisc(QdiscType type) {
+  switch (type) {
+    case QdiscType::kPfifoFast:
+      return "pfifo_fast";
+    case QdiscType::kCoDel:
+      return "CoDel";
+    case QdiscType::kFqCoDel:
+      return "FQ_CoDel";
+    case QdiscType::kPie:
+      return "PIE";
+    case QdiscType::kRed:
+      return "RED";
+  }
+  return "?";
+}
+
+bool ParseQdisc(const std::string& name, QdiscType* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (lower == "pfifo_fast" || lower == "pfifo") {
+    *out = QdiscType::kPfifoFast;
+  } else if (lower == "codel") {
+    *out = QdiscType::kCoDel;
+  } else if (lower == "fq_codel" || lower == "fqcodel") {
+    *out = QdiscType::kFqCoDel;
+  } else if (lower == "pie") {
+    *out = QdiscType::kPie;
+  } else if (lower == "red") {
+    *out = QdiscType::kRed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+const char* const kApps[] = {"legacy", "accuracy"};
+const char* const kProfiles[] = {"wired", "lan", "cable", "cable_up", "wifi", "lte", "lte_up"};
+const char* const kCcs[] = {"reno", "cubic", "cubic-nohystart", "vegas", "ledbat", "bbr"};
+const char* const kElementModes[] = {"off", "first", "wireless"};
+
+template <size_t N>
+bool OneOf(const std::string& v, const char* const (&set)[N]) {
+  for (const char* s : set) {
+    if (v == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <size_t N>
+std::string Options(const char* const (&set)[N]) {
+  std::string out;
+  for (const char* s : set) {
+    if (!out.empty()) {
+      out += "|";
+    }
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::Id() const {
+  std::ostringstream os;
+  os << name << "#s" << seed;
+  return os.str();
+}
+
+PathConfig ScenarioSpec::BuildPath() const {
+  PathConfig path;
+  if (profile == "lan") {
+    path = LanProfile();
+  } else if (profile == "cable") {
+    path = CableProfile(/*upload=*/false);
+  } else if (profile == "cable_up") {
+    path = CableProfile(/*upload=*/true);
+  } else if (profile == "wifi") {
+    path = WifiProfile();
+  } else if (profile == "lte") {
+    path = LteProfile(/*upload=*/false);
+  } else if (profile == "lte_up") {
+    path = LteProfile(/*upload=*/true);
+  } else {
+    path.rate = DataRate::Mbps(rate_mbps);
+    path.one_way_delay = TimeDelta::FromNanos(static_cast<int64_t>(rtt_ms * 1e6 / 2.0));
+    if (queue_packets <= 0) {
+      // The paper's wired sizing (Fig. 7): 2x BDP, floor of 60 packets.
+      double bdp_pkts = rate_mbps * 1e6 / 8.0 * rtt_ms * 1e-3 / 1500.0;
+      path.queue_limit_packets = static_cast<size_t>(std::max(60.0, 2.0 * bdp_pkts));
+    }
+  }
+  if (queue_packets > 0) {
+    path.queue_limit_packets = static_cast<size_t>(queue_packets);
+  }
+  QdiscType q = QdiscType::kPfifoFast;
+  if (ParseQdisc(qdisc, &q)) {
+    path.qdisc = q;
+  }
+  path.ecn = ecn;
+  if (loss > 0.0) {
+    path.loss_probability = loss;
+  }
+  return path;
+}
+
+std::string ScenarioSpec::Validate() const {
+  std::ostringstream os;
+  if (!OneOf(app, kApps)) {
+    os << "unknown app '" << app << "' (" << Options(kApps) << ")";
+  } else if (!OneOf(profile, kProfiles)) {
+    os << "unknown profile '" << profile << "' (" << Options(kProfiles) << ")";
+  } else if (QdiscType q; !ParseQdisc(qdisc, &q)) {
+    os << "unknown qdisc '" << qdisc << "' (pfifo_fast|codel|fq_codel|pie|red)";
+  } else if (!OneOf(cc, kCcs)) {
+    os << "unknown cc '" << cc << "' (" << Options(kCcs) << ")";
+  } else if (!OneOf(element_mode, kElementModes)) {
+    os << "unknown element_mode '" << element_mode << "' (" << Options(kElementModes) << ")";
+  } else if (duration_s <= 0.0) {
+    os << "duration_s must be positive, got " << duration_s;
+  } else if (warmup_s < 0.0 || warmup_s >= duration_s) {
+    os << "warmup_s must be in [0, duration_s), got " << warmup_s;
+  } else if (num_flows < 1) {
+    os << "num_flows must be >= 1, got " << num_flows;
+  } else if (background_flows < 0) {
+    os << "background_flows must be >= 0, got " << background_flows;
+  } else if (tracker_period_ms <= 0.0) {
+    os << "tracker_period_ms must be positive, got " << tracker_period_ms;
+  } else if (rate_mbps <= 0.0) {
+    os << "rate_mbps must be positive, got " << rate_mbps;
+  } else if (rtt_ms <= 0.0) {
+    os << "rtt_ms must be positive, got " << rtt_ms;
+  } else if (loss < 0.0 || loss >= 1.0) {
+    os << "loss must be in [0, 1), got " << loss;
+  }
+  return os.str();
+}
+
+json::Value ScenarioSpec::ToJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("name", json::Value::Str(name));
+  obj.Set("app", json::Value::Str(app));
+  obj.Set("profile", json::Value::Str(profile));
+  obj.Set("rate_mbps", json::Value::Number(rate_mbps));
+  obj.Set("rtt_ms", json::Value::Number(rtt_ms));
+  obj.Set("queue_packets", json::Value::Int(queue_packets));
+  obj.Set("ecn", json::Value::Bool(ecn));
+  obj.Set("loss", json::Value::Number(loss));
+  obj.Set("qdisc", json::Value::Str(qdisc));
+  obj.Set("cc", json::Value::Str(cc));
+  obj.Set("num_flows", json::Value::Int(num_flows));
+  obj.Set("element_mode", json::Value::Str(element_mode));
+  obj.Set("download", json::Value::Bool(download));
+  obj.Set("duration_s", json::Value::Number(duration_s));
+  obj.Set("warmup_s", json::Value::Number(warmup_s));
+  obj.Set("tracker_period_ms", json::Value::Number(tracker_period_ms));
+  obj.Set("background_flows", json::Value::Int(background_flows));
+  obj.Set("seed", json::Value::Int(static_cast<int64_t>(seed)));
+  return obj;
+}
+
+namespace {
+
+// Applies the scalar spec fields present in `obj` onto `spec`. Axis keys that
+// hold arrays (sweep form) are skipped when `skip_arrays`; any other unknown
+// key is an error so suite typos fail loudly.
+bool ApplySpecFields(const json::Value& obj, ScenarioSpec* spec, bool skip_arrays,
+                     std::string* error) {
+  for (const auto& [key, v] : obj.fields()) {
+    if (skip_arrays && v.is_array() &&
+        (key == "qdisc" || key == "cc" || key == "profile" || key == "rate_mbps" ||
+         key == "rtt_ms")) {
+      continue;
+    }
+    if (skip_arrays && key == "seed" && v.is_object()) {
+      continue;
+    }
+    if (key == "name") {
+      spec->name = v.AsString(spec->name);
+    } else if (key == "app") {
+      spec->app = v.AsString(spec->app);
+    } else if (key == "profile") {
+      spec->profile = v.AsString(spec->profile);
+    } else if (key == "rate_mbps") {
+      spec->rate_mbps = v.AsDouble(spec->rate_mbps);
+    } else if (key == "rtt_ms") {
+      spec->rtt_ms = v.AsDouble(spec->rtt_ms);
+    } else if (key == "queue_packets") {
+      spec->queue_packets = static_cast<int>(v.AsInt(spec->queue_packets));
+    } else if (key == "ecn") {
+      spec->ecn = v.AsBool(spec->ecn);
+    } else if (key == "loss") {
+      spec->loss = v.AsDouble(spec->loss);
+    } else if (key == "qdisc") {
+      spec->qdisc = v.AsString(spec->qdisc);
+    } else if (key == "cc") {
+      spec->cc = v.AsString(spec->cc);
+    } else if (key == "num_flows") {
+      spec->num_flows = static_cast<int>(v.AsInt(spec->num_flows));
+    } else if (key == "element_mode") {
+      spec->element_mode = v.AsString(spec->element_mode);
+    } else if (key == "download") {
+      spec->download = v.AsBool(spec->download);
+    } else if (key == "duration_s") {
+      spec->duration_s = v.AsDouble(spec->duration_s);
+    } else if (key == "warmup_s") {
+      spec->warmup_s = v.AsDouble(spec->warmup_s);
+    } else if (key == "tracker_period_ms") {
+      spec->tracker_period_ms = v.AsDouble(spec->tracker_period_ms);
+    } else if (key == "background_flows") {
+      spec->background_flows = static_cast<int>(v.AsInt(spec->background_flows));
+    } else if (key == "seed") {
+      spec->seed = static_cast<uint64_t>(v.AsInt(static_cast<int64_t>(spec->seed)));
+    } else {
+      *error = "unknown scenario field '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> StringAxis(const json::Value& sweep, const std::string& key) {
+  std::vector<std::string> out;
+  if (const json::Value* v = sweep.Find(key); v != nullptr && v->is_array()) {
+    for (const json::Value& item : v->items()) {
+      out.push_back(item.AsString());
+    }
+  }
+  return out;
+}
+
+std::vector<double> NumberAxis(const json::Value& sweep, const std::string& key) {
+  std::vector<double> out;
+  if (const json::Value* v = sweep.Find(key); v != nullptr && v->is_array()) {
+    for (const json::Value& item : v->items()) {
+      out.push_back(item.AsDouble());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> SweepSpec::Expand() const {
+  // Empty axes iterate once with the base value.
+  auto or_base = [](std::vector<std::string> axis, const std::string& base_value) {
+    if (axis.empty()) {
+      axis.push_back(base_value);
+    }
+    return axis;
+  };
+  std::vector<std::string> axis_profiles = or_base(profiles, base.profile);
+  std::vector<std::string> axis_qdiscs = or_base(qdiscs, base.qdisc);
+  std::vector<std::string> axis_ccs = or_base(ccs, base.cc);
+  std::vector<double> axis_rates = rates_mbps.empty() ? std::vector<double>{base.rate_mbps}
+                                                      : rates_mbps;
+  std::vector<double> axis_rtts = rtts_ms.empty() ? std::vector<double>{base.rtt_ms} : rtts_ms;
+
+  std::string stem = base.name.empty() ? "sweep" : base.name;
+  std::vector<ScenarioSpec> out;
+  out.reserve(axis_profiles.size() * axis_rates.size() * axis_rtts.size() * axis_qdiscs.size() *
+              axis_ccs.size() * static_cast<size_t>(std::max(1, seed_count)));
+  for (const std::string& profile : axis_profiles) {
+    for (double rate : axis_rates) {
+      for (double rtt : axis_rtts) {
+        for (const std::string& qdisc : axis_qdiscs) {
+          for (const std::string& cc : axis_ccs) {
+            ScenarioSpec spec = base;
+            spec.profile = profile;
+            spec.rate_mbps = rate;
+            spec.rtt_ms = rtt;
+            spec.qdisc = qdisc;
+            spec.cc = cc;
+            std::string label = stem;
+            if (profiles.size() > 1) {
+              label += "/" + profile;
+            }
+            if (rates_mbps.size() > 1) {
+              label += "/" + json::FormatNumber(rate) + "mbps";
+            }
+            if (rtts_ms.size() > 1) {
+              label += "/" + json::FormatNumber(rtt) + "ms";
+            }
+            if (qdiscs.size() > 1) {
+              label += "/" + qdisc;
+            }
+            if (ccs.size() > 1) {
+              label += "/" + cc;
+            }
+            spec.name = label;
+            for (int k = 0; k < std::max(1, seed_count); ++k) {
+              spec.seed = seed_base + static_cast<uint64_t>(k);
+              out.push_back(spec);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool ScenarioSuite::ParseJson(const std::string& text, ScenarioSuite* out, std::string* error) {
+  json::Value doc;
+  if (!json::Value::Parse(text, &doc, error)) {
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error = "suite document must be a JSON object";
+    return false;
+  }
+  ScenarioSuite suite;
+  if (const json::Value* v = doc.Find("suite")) {
+    suite.name = v->AsString(suite.name);
+  }
+  ScenarioSpec defaults;
+  if (const json::Value* v = doc.Find("defaults")) {
+    if (!v->is_object()) {
+      *error = "'defaults' must be an object";
+      return false;
+    }
+    if (!ApplySpecFields(*v, &defaults, /*skip_arrays=*/false, error)) {
+      return false;
+    }
+  }
+  if (const json::Value* v = doc.Find("scenarios")) {
+    if (!v->is_array()) {
+      *error = "'scenarios' must be an array";
+      return false;
+    }
+    for (size_t i = 0; i < v->items().size(); ++i) {
+      ScenarioSpec spec = defaults;
+      if (!ApplySpecFields(v->items()[i], &spec, /*skip_arrays=*/false, error)) {
+        return false;
+      }
+      if (spec.name.empty()) {
+        spec.name = "scenario" + std::to_string(i);
+      }
+      suite.scenarios.push_back(std::move(spec));
+    }
+  }
+  if (const json::Value* v = doc.Find("sweeps")) {
+    if (!v->is_array()) {
+      *error = "'sweeps' must be an array";
+      return false;
+    }
+    for (const json::Value& entry : v->items()) {
+      SweepSpec sweep;
+      sweep.base = defaults;
+      if (!ApplySpecFields(entry, &sweep.base, /*skip_arrays=*/true, error)) {
+        return false;
+      }
+      sweep.qdiscs = StringAxis(entry, "qdisc");
+      sweep.ccs = StringAxis(entry, "cc");
+      sweep.profiles = StringAxis(entry, "profile");
+      sweep.rates_mbps = NumberAxis(entry, "rate_mbps");
+      sweep.rtts_ms = NumberAxis(entry, "rtt_ms");
+      sweep.seed_base = sweep.base.seed;
+      if (const json::Value* seed = entry.Find("seed"); seed != nullptr && seed->is_object()) {
+        if (const json::Value* b = seed->Find("base")) {
+          sweep.seed_base = static_cast<uint64_t>(b->AsInt(1));
+        }
+        if (const json::Value* c = seed->Find("count")) {
+          sweep.seed_count = static_cast<int>(c->AsInt(1));
+        }
+      }
+      std::vector<ScenarioSpec> expanded = sweep.Expand();
+      suite.scenarios.insert(suite.scenarios.end(), expanded.begin(), expanded.end());
+    }
+  }
+  for (const ScenarioSpec& spec : suite.scenarios) {
+    std::string problem = spec.Validate();
+    if (!problem.empty()) {
+      *error = "scenario '" + spec.name + "': " + problem;
+      return false;
+    }
+  }
+  *out = std::move(suite);
+  return true;
+}
+
+bool ScenarioSuite::LoadFile(const std::string& path, ScenarioSuite* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!ParseJson(buf.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::string ScenarioSuite::ToJson() const {
+  json::Value doc = json::Value::Object();
+  doc.Set("suite", json::Value::Str(name));
+  json::Value list = json::Value::Array();
+  for (const ScenarioSpec& spec : scenarios) {
+    list.Append(spec.ToJson());
+  }
+  doc.Set("scenarios", std::move(list));
+  return doc.Dump();
+}
+
+void ScenarioSuite::OffsetSeeds(uint64_t offset) {
+  for (ScenarioSpec& spec : scenarios) {
+    spec.seed += offset;
+  }
+}
+
+}  // namespace element

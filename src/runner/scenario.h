@@ -1,0 +1,120 @@
+// Declarative scenario specs for the fleet runner.
+//
+// A ScenarioSpec fully describes one deterministic simulation: the path
+// (named production profile or parameterized wired link), qdisc, congestion
+// control, application workload, ELEMENT interposition mode, and seed.
+// Suites live in scenarios/*.json rather than C++: a suite file carries
+// shared defaults, explicit scenario entries, and grid sweeps that expand
+// into the cartesian product of their axes.
+//
+// Expansion is pure and deterministic: the same suite text always yields the
+// same ordered vector of specs, which is what lets `element_fleet` promise
+// byte-identical aggregates regardless of --jobs.
+
+#ifndef ELEMENT_SRC_RUNNER_SCENARIO_H_
+#define ELEMENT_SRC_RUNNER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runner/json.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+
+struct ScenarioSpec {
+  std::string name;  // display label; auto-derived for sweep-expanded specs
+
+  // Workload: "legacy" = N iperf flows with ground-truth delay decomposition
+  // (the Fig. 2/3/13/14 experiments); "accuracy" = one ELEMENT-instrumented
+  // flow scored against ground truth (the Fig. 6/7/8 experiments).
+  std::string app = "legacy";
+
+  // Path: "wired" uses the rate/rtt/queue knobs below; "lan", "cable",
+  // "wifi", "lte" use the named production profiles (knobs other than qdisc /
+  // ecn / loss are ignored for profiles).
+  std::string profile = "wired";
+  double rate_mbps = 10.0;
+  double rtt_ms = 50.0;
+  // 0 => auto-size to max(60, 2 * BDP) packets, the Fig. 7 wired formula.
+  int queue_packets = 0;
+  bool ecn = false;
+  double loss = 0.0;  // > 0 overrides the link's loss probability
+
+  std::string qdisc = "pfifo_fast";  // pfifo_fast | codel | fq_codel | pie | red
+  std::string cc = "cubic";          // MakeCongestionControl() name
+
+  int num_flows = 1;  // legacy app: parallel iperf flows
+  // "off" = plain TCP; "first" = flow 0 through the ELEMENT interposer;
+  // "wireless" = interposer in LTE/WiFi mode (Algorithm 3).
+  std::string element_mode = "off";
+  bool download = false;  // legacy app: sender at server side (reverse pipe)
+
+  double duration_s = 30.0;
+  double warmup_s = 3.0;             // legacy app: excluded from delay stats
+  double tracker_period_ms = 10.0;   // accuracy app: tcp_info poll period
+  int background_flows = 0;          // accuracy app: staggered competing flows
+
+  uint64_t seed = 1;
+
+  // Stable identifier used in result rows: "<name>#s<seed>".
+  std::string Id() const;
+
+  // Resolves the path description into the simulator's PathConfig.
+  PathConfig BuildPath() const;
+
+  // Empty string when the spec is well-formed, else a description of the
+  // first problem (unknown qdisc/cc/app/profile, non-positive duration, ...).
+  std::string Validate() const;
+
+  json::Value ToJson() const;
+};
+
+// One cartesian sweep: every combination of the axis values applied on top of
+// `base`, across `seed_count` seeds starting at `seed_base`. Empty axes
+// contribute the base value only.
+struct SweepSpec {
+  ScenarioSpec base;
+  std::vector<std::string> qdiscs;
+  std::vector<std::string> ccs;
+  std::vector<std::string> profiles;
+  std::vector<double> rates_mbps;
+  std::vector<double> rtts_ms;
+  uint64_t seed_base = 1;
+  int seed_count = 1;
+
+  // Expansion order: profiles > rates > rtts > qdiscs > ccs > seeds
+  // (outermost to innermost), deterministic.
+  std::vector<ScenarioSpec> Expand() const;
+};
+
+struct ScenarioSuite {
+  std::string name = "suite";
+  std::vector<ScenarioSpec> scenarios;  // already expanded, in order
+
+  // Parses a suite document:
+  //   { "suite": "...", "defaults": {spec fields},
+  //     "scenarios": [ {spec fields}, ... ],
+  //     "sweeps": [ { spec fields..., "qdisc": [...], "cc": [...],
+  //                   "profile": [...], "rate_mbps": [...], "rtt_ms": [...],
+  //                   "seed": {"base": N, "count": M} }, ... ] }
+  // Explicit scenarios come first, then sweep expansions in file order.
+  static bool ParseJson(const std::string& text, ScenarioSuite* out, std::string* error);
+  static bool LoadFile(const std::string& path, ScenarioSuite* out, std::string* error);
+
+  // Serializes as the fully-expanded explicit form; ParseJson(ToJson()) is an
+  // identity on (name, scenarios).
+  std::string ToJson() const;
+
+  // Adds `offset` to every scenario seed (the --seed flag).
+  void OffsetSeeds(uint64_t offset);
+};
+
+// Name <-> enum helpers shared with the bench binaries.
+std::string DescribeQdisc(QdiscType type);
+bool ParseQdisc(const std::string& name, QdiscType* out);
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_RUNNER_SCENARIO_H_

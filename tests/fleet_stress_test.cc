@@ -1,0 +1,76 @@
+// Fleet stress test (labeled `slow`, excluded from tier-1): runs a
+// 200-scenario qdisc x cc x seed sweep through the parallel executor and
+// checks the determinism contract at scale — the deterministic report for
+// jobs=4 must be byte-identical to jobs=1, every scenario must complete, and
+// the aggregate must cover every flow.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runner/fleet.h"
+#include "src/runner/scenario.h"
+
+namespace element {
+namespace {
+
+ScenarioSuite StressSuite() {
+  ScenarioSuite suite;
+  std::string err;
+  bool ok = ScenarioSuite::ParseJson(R"({
+    "suite": "stress",
+    "defaults": {
+      "app": "legacy",
+      "profile": "wired",
+      "rate_mbps": 10,
+      "rtt_ms": 20,
+      "queue_packets": 50,
+      "num_flows": 1,
+      "duration_s": 3.0,
+      "warmup_s": 0.5
+    },
+    "sweeps": [
+      {"name": "grid",
+       "qdisc": ["pfifo_fast", "codel", "fq_codel", "pie", "red"],
+       "cc": ["cubic", "reno", "bbr", "vegas"],
+       "seed": {"base": 1, "count": 10}}
+    ]
+  })",
+                                     &suite, &err);
+  EXPECT_TRUE(ok) << err;
+  return suite;
+}
+
+TEST(FleetStressTest, TwoHundredScenarioSweepIsDeterministicUnderParallelism) {
+  ScenarioSuite suite = StressSuite();
+  ASSERT_EQ(suite.scenarios.size(), 200u);
+
+  FleetOptions parallel;
+  parallel.jobs = 4;
+  FleetSummary par = RunFleet(suite.scenarios, parallel);
+  EXPECT_EQ(par.completed, 200u);
+  EXPECT_EQ(par.failed, 0u);
+  EXPECT_EQ(par.cancelled, 0u);
+
+  FleetOptions serial;
+  serial.jobs = 1;
+  FleetSummary ser = RunFleet(suite.scenarios, serial);
+  EXPECT_EQ(ser.completed, 200u);
+
+  std::string par_json = FleetReportJson(suite.name, par, /*deterministic=*/true).Dump();
+  std::string ser_json = FleetReportJson(suite.name, ser, /*deterministic=*/true).Dump();
+  EXPECT_EQ(par_json, ser_json) << "fleet aggregate depends on thread scheduling";
+
+  FleetAggregate agg = AggregateResults(par.results);
+  EXPECT_EQ(agg.scenarios, 200u);
+  EXPECT_EQ(agg.flows, 200u);
+  EXPECT_GT(agg.goodput_mbps.mean(), 0.0);
+  EXPECT_GT(agg.e2e_delay_s.count(), 0u);
+  // Every delay the sweep produces fits the default histogram range.
+  EXPECT_EQ(agg.e2e_delay_s.underflow(), 0u);
+  EXPECT_EQ(agg.e2e_delay_s.overflow(), 0u);
+}
+
+}  // namespace
+}  // namespace element

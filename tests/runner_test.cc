@@ -1,0 +1,466 @@
+// Tests for the fleet-runner subsystem: histogram merge algebra, scenario
+// JSON round-trips, sweep expansion, runner flags, and — the load-bearing
+// contract — determinism of the fleet aggregate under parallelism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/runner/fleet.h"
+#include "src/runner/json.h"
+#include "src/runner/scenario.h"
+
+namespace element {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  h.Add(0.010);
+  h.Add(0.020);
+  h.Add(0.030);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max(), 0.030);
+  EXPECT_NEAR(h.mean(), 0.020, 1e-12);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowAreCounted) {
+  Histogram h(1e-3, 1.0, 8);
+  h.Add(0.0);     // below floor (and non-positive)
+  h.Add(1e-5);    // below floor
+  h.Add(0.5);     // in range
+  h.Add(2.0);     // above ceiling
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // Extremes are tracked exactly even outside the binned range.
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileAccuracyWithinBinResolution) {
+  Histogram h;
+  SampleSet exact;
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.Exponential(0.050);
+    h.Add(v);
+    exact.Add(v);
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    double approx = h.Quantile(q);
+    double truth = exact.Quantile(q);
+    // 32 bins/decade => bin edges are 10^(1/32) ~ 7.5% apart.
+    EXPECT_NEAR(approx, truth, truth * 0.08) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  Rng rng(99);
+  std::vector<std::vector<double>> batches(3);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    for (int i = 0; i < 500; ++i) {
+      batches[b].push_back(rng.Pareto(1e-4, 1.3));
+    }
+  }
+  auto build = [&](size_t b) {
+    Histogram h;
+    for (double v : batches[b]) {
+      h.Add(v);
+    }
+    return h;
+  };
+  Histogram a = build(0);
+  Histogram b = build(1);
+  Histogram c = build(2);
+
+  Histogram left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram right = c;  // (c + b) + a == a + (b + c) up to bin counts
+  right.Merge(b);
+  right.Merge(a);
+
+  EXPECT_EQ(left.bins(), right.bins());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.underflow(), right.underflow());
+  EXPECT_EQ(left.overflow(), right.overflow());
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  // Quantiles depend only on bins + extremes, so they are exactly equal.
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), right.Quantile(q)) << "q=" << q;
+  }
+  // The running sum is the one float accumulator: order-sensitive only in the
+  // last ulps.
+  EXPECT_NEAR(left.sum(), right.sum(), std::abs(left.sum()) * 1e-12);
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram h;
+  h.Add(0.5);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  Histogram h2;
+  h2.Merge(h);
+  EXPECT_EQ(h2.count(), 1u);
+  EXPECT_DOUBLE_EQ(h2.min(), 0.5);
+}
+
+#if ELEMENT_AUDITS_ENABLED
+TEST(HistogramDeathTest, MismatchedGeometryMergeAborts) {
+  Histogram a(1e-6, 1e3, 32);
+  Histogram b(1e-6, 1e3, 16);
+  a.Add(1.0);
+  b.Add(1.0);
+  EXPECT_DEATH(a.Merge(b), "mismatched geometry");
+}
+
+TEST(HistogramDeathTest, EmptyQuantileIsACallerBug) {
+  Histogram h;
+  EXPECT_DEATH(h.Quantile(0.5), "empty histogram");
+  SampleSet s;
+  EXPECT_DEATH(s.Quantile(0.5), "empty set");
+}
+#else
+TEST(HistogramTest, EmptyQuantileReturnsZeroInRelease) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+}
+#endif
+
+TEST(SampleSetTest, MergeAppendsSamples) {
+  SampleSet a;
+  a.Add(1.0);
+  a.Add(3.0);
+  SampleSet b;
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 2.0);
+  a.Merge(SampleSet{});
+  EXPECT_EQ(a.count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsArraysObjectsAndComments) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::Value::Parse(
+      "// comment\n{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"x\\ny\"}",
+      &v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("a")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("a")->items()[1].AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(v.Find("a")->items()[2].AsDouble(), -300.0);
+  EXPECT_TRUE(v.Find("b")->Find("c")->AsBool());
+  EXPECT_TRUE(v.Find("b")->Find("d")->is_null());
+  EXPECT_EQ(v.Find("s")->AsString(), "x\ny");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  json::Value v;
+  std::string err;
+  EXPECT_FALSE(json::Value::Parse("{\"a\": }", &v, &err));
+  EXPECT_FALSE(json::Value::Parse("[1, 2", &v, &err));
+  EXPECT_FALSE(json::Value::Parse("{\"a\": 1} trailing", &v, &err));
+  EXPECT_FALSE(json::Value::Parse("\"unterminated", &v, &err));
+}
+
+TEST(JsonTest, DumpParsesBackIdentically) {
+  json::Value doc = json::Value::Object();
+  doc.Set("n", json::Value::Number(0.123456789012345));
+  doc.Set("i", json::Value::Int(42));
+  doc.Set("s", json::Value::Str("he\"llo\n"));
+  json::Value arr = json::Value::Array();
+  arr.Append(json::Value::Bool(true));
+  arr.Append(json::Value::Null());
+  doc.Set("a", std::move(arr));
+  std::string text = doc.Dump();
+  json::Value back;
+  std::string err;
+  ASSERT_TRUE(json::Value::Parse(text, &back, &err)) << err;
+  EXPECT_EQ(back.Dump(), text);
+  EXPECT_DOUBLE_EQ(back.Find("n")->AsDouble(), 0.123456789012345);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario specs
+// ---------------------------------------------------------------------------
+
+constexpr char kSuiteText[] = R"({
+  "suite": "unit",
+  "defaults": {"duration_s": 0.5, "warmup_s": 0.1, "rate_mbps": 5, "rtt_ms": 20},
+  "scenarios": [
+    {"name": "explicit", "app": "accuracy", "duration_s": 1.0, "seed": 9}
+  ],
+  "sweeps": [
+    {"name": "grid", "qdisc": ["pfifo_fast", "codel"], "cc": ["cubic", "reno"],
+     "seed": {"base": 10, "count": 3}}
+  ]
+})";
+
+TEST(ScenarioTest, ParsesDefaultsScenariosAndSweeps) {
+  ScenarioSuite suite;
+  std::string err;
+  ASSERT_TRUE(ScenarioSuite::ParseJson(kSuiteText, &suite, &err)) << err;
+  EXPECT_EQ(suite.name, "unit");
+  // 1 explicit + 2 qdiscs * 2 ccs * 3 seeds.
+  ASSERT_EQ(suite.scenarios.size(), 13u);
+  EXPECT_EQ(suite.scenarios[0].name, "explicit");
+  EXPECT_EQ(suite.scenarios[0].app, "accuracy");
+  EXPECT_EQ(suite.scenarios[0].seed, 9u);
+  EXPECT_DOUBLE_EQ(suite.scenarios[0].duration_s, 1.0);
+  // Defaults flow into sweep entries.
+  EXPECT_DOUBLE_EQ(suite.scenarios[1].duration_s, 0.5);
+  EXPECT_EQ(suite.scenarios[1].name, "grid/pfifo_fast/cubic");
+  EXPECT_EQ(suite.scenarios[1].seed, 10u);
+  EXPECT_EQ(suite.scenarios[3].seed, 12u);
+  EXPECT_EQ(suite.scenarios[4].name, "grid/pfifo_fast/reno");
+  EXPECT_EQ(suite.scenarios.back().name, "grid/codel/reno");
+  EXPECT_EQ(suite.scenarios.back().seed, 12u);
+}
+
+TEST(ScenarioTest, JsonRoundTripIsIdentity) {
+  ScenarioSuite suite;
+  std::string err;
+  ASSERT_TRUE(ScenarioSuite::ParseJson(kSuiteText, &suite, &err)) << err;
+  std::string serialized = suite.ToJson();
+  ScenarioSuite back;
+  ASSERT_TRUE(ScenarioSuite::ParseJson(serialized, &back, &err)) << err;
+  EXPECT_EQ(back.name, suite.name);
+  ASSERT_EQ(back.scenarios.size(), suite.scenarios.size());
+  EXPECT_EQ(back.ToJson(), serialized);
+}
+
+TEST(ScenarioTest, RejectsUnknownFieldsAndValues) {
+  ScenarioSuite suite;
+  std::string err;
+  EXPECT_FALSE(ScenarioSuite::ParseJson(R"({"scenarios": [{"qdsic": "codel"}]})", &suite, &err));
+  EXPECT_NE(err.find("unknown scenario field"), std::string::npos) << err;
+  EXPECT_FALSE(
+      ScenarioSuite::ParseJson(R"({"scenarios": [{"qdisc": "taildrop"}]})", &suite, &err));
+  EXPECT_NE(err.find("unknown qdisc"), std::string::npos) << err;
+  EXPECT_FALSE(ScenarioSuite::ParseJson(R"({"scenarios": [{"cc": "quic"}]})", &suite, &err));
+  EXPECT_FALSE(
+      ScenarioSuite::ParseJson(R"({"scenarios": [{"duration_s": -1}]})", &suite, &err));
+}
+
+TEST(ScenarioTest, BuildPathWiredAutoQueueMatchesPaperFormula) {
+  ScenarioSpec spec;
+  spec.rate_mbps = 30;
+  spec.rtt_ms = 50;
+  spec.queue_packets = 0;
+  PathConfig path = spec.BuildPath();
+  // 2 * BDP = 2 * 30e6/8 * 0.05 / 1500 = 250 packets.
+  EXPECT_EQ(path.queue_limit_packets, 250u);
+  EXPECT_EQ(path.one_way_delay.nanos(), 25'000'000);
+  spec.rate_mbps = 1;  // tiny BDP floors at 60
+  path = spec.BuildPath();
+  EXPECT_EQ(path.queue_limit_packets, 60u);
+  spec.queue_packets = 123;  // explicit wins
+  path = spec.BuildPath();
+  EXPECT_EQ(path.queue_limit_packets, 123u);
+}
+
+TEST(ScenarioTest, BuildPathProfilesApplyQdiscOverride) {
+  ScenarioSpec spec;
+  spec.profile = "lte";
+  spec.qdisc = "codel";
+  PathConfig path = spec.BuildPath();
+  EXPECT_EQ(path.link, LinkType::kLte);
+  EXPECT_EQ(path.qdisc, QdiscType::kCoDel);
+  EXPECT_EQ(path.queue_limit_packets, LteProfile().queue_limit_packets);
+}
+
+TEST(ScenarioTest, QdiscNamesRoundTrip) {
+  for (QdiscType q : {QdiscType::kPfifoFast, QdiscType::kCoDel, QdiscType::kFqCoDel,
+                      QdiscType::kPie, QdiscType::kRed}) {
+    QdiscType back;
+    ASSERT_TRUE(ParseQdisc(DescribeQdisc(q), &back)) << DescribeQdisc(q);
+    EXPECT_EQ(back, q);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner flags
+// ---------------------------------------------------------------------------
+
+TEST(RunnerFlagsTest, ParsesStandardFlags) {
+  const char* argv[] = {"prog", "--jobs", "3", "--seed", "100", "--out", "r.json",
+                        "--scenarios", "s.json"};
+  Flags flags;
+  flags.Parse(9, argv);
+  RunnerFlags rf = ParseRunnerFlags(flags);
+  EXPECT_EQ(rf.jobs, 3);
+  EXPECT_EQ(rf.seed_offset, 100u);
+  EXPECT_EQ(rf.out, "r.json");
+  EXPECT_EQ(rf.scenarios, "s.json");
+}
+
+TEST(RunnerFlagsTest, JobsFallsBackToEnvThenHardware) {
+  ::setenv("ELEMENT_JOBS", "5", 1);
+  const char* argv[] = {"prog"};
+  Flags flags;
+  flags.Parse(1, argv);
+  EXPECT_EQ(ParseRunnerFlags(flags).jobs, 5);
+  ::setenv("ELEMENT_JOBS", "not-a-number", 1);
+  EXPECT_GE(DefaultJobs(), 1);
+  ::unsetenv("ELEMENT_JOBS");
+  EXPECT_GE(DefaultJobs(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet executor
+// ---------------------------------------------------------------------------
+
+std::vector<ScenarioSpec> TinySuite() {
+  ScenarioSuite suite;
+  std::string err;
+  bool ok = ScenarioSuite::ParseJson(R"({
+    "suite": "tiny",
+    "defaults": {"rate_mbps": 5, "rtt_ms": 20, "duration_s": 0.5, "warmup_s": 0.1},
+    "scenarios": [{"name": "acc", "app": "accuracy", "seed": 42}],
+    "sweeps": [{"name": "grid", "qdisc": ["pfifo_fast", "codel"],
+                "cc": ["cubic", "reno"], "seed": {"base": 1, "count": 1}}]
+  })",
+                                     &suite, &err);
+  EXPECT_TRUE(ok) << err;
+  return suite.scenarios;
+}
+
+TEST(FleetTest, AggregateJsonIsIdenticalForJobs1AndJobs8) {
+  std::vector<ScenarioSpec> specs = TinySuite();
+  FleetOptions serial;
+  serial.jobs = 1;
+  FleetSummary s1 = RunFleet(specs, serial);
+  FleetOptions parallel;
+  parallel.jobs = 8;
+  FleetSummary s8 = RunFleet(specs, parallel);
+  EXPECT_EQ(s1.completed, specs.size());
+  EXPECT_EQ(s8.completed, specs.size());
+  std::string j1 = FleetReportJson("tiny", s1, /*deterministic=*/true).Dump();
+  std::string j8 = FleetReportJson("tiny", s8, /*deterministic=*/true).Dump();
+  EXPECT_EQ(j1, j8);
+  EXPECT_NE(j1.find("\"aggregate\""), std::string::npos);
+}
+
+TEST(FleetTest, AggregateMergeMatchesWholeFold) {
+  std::vector<ScenarioSpec> specs = TinySuite();
+  FleetOptions options;
+  options.jobs = 2;
+  FleetSummary summary = RunFleet(specs, options);
+  ASSERT_EQ(summary.completed, specs.size());
+
+  FleetAggregate whole = AggregateResults(summary.results);
+  // Split the results anywhere and merge the partial aggregates. Bin counts
+  // and rank statistics are integer/exact, so they match bitwise; the float
+  // sums fold in a different association order, so compare those with a
+  // tight relative tolerance. (Byte-identity is only promised for a fixed
+  // fold order — the jobs=1 vs jobs=8 test above.)
+  FleetAggregate first;
+  FleetAggregate second;
+  for (size_t i = 0; i < summary.results.size(); ++i) {
+    (i < 2 ? first : second).Add(summary.results[i]);
+  }
+  first.Merge(second);
+  EXPECT_EQ(first.scenarios, whole.scenarios);
+  EXPECT_EQ(first.flows, whole.flows);
+  EXPECT_EQ(first.retransmits, whole.retransmits);
+  EXPECT_EQ(first.e2e_delay_s.bins(), whole.e2e_delay_s.bins());
+  EXPECT_EQ(first.e2e_delay_s.count(), whole.e2e_delay_s.count());
+  EXPECT_DOUBLE_EQ(first.e2e_delay_s.min(), whole.e2e_delay_s.min());
+  EXPECT_DOUBLE_EQ(first.e2e_delay_s.max(), whole.e2e_delay_s.max());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(first.e2e_delay_s.Quantile(q), whole.e2e_delay_s.Quantile(q));
+    EXPECT_DOUBLE_EQ(first.sender_err_s.Quantile(q), whole.sender_err_s.Quantile(q));
+  }
+  EXPECT_EQ(first.goodput_mbps.count(), whole.goodput_mbps.count());
+  EXPECT_NEAR(first.goodput_mbps.mean(), whole.goodput_mbps.mean(),
+              std::abs(whole.goodput_mbps.mean()) * 1e-12);
+  EXPECT_NEAR(first.e2e_delay_s.sum(), whole.e2e_delay_s.sum(),
+              std::abs(whole.e2e_delay_s.sum()) * 1e-12);
+}
+
+TEST(FleetTest, CancelsRemainingScenariosOnFirstFailure) {
+  std::vector<ScenarioSpec> specs = TinySuite();
+  ASSERT_GE(specs.size(), 3u);
+  FleetOptions options;
+  options.jobs = 1;  // deterministic order: failure at index 1 cancels 2..N
+  options.run = [](const ScenarioSpec& spec) {
+    ScenarioResult r;
+    r.spec = spec;
+    if (spec.name == "grid/pfifo_fast/cubic") {  // second scenario in order
+      r.ok = false;
+      r.error = "synthetic failure";
+    } else {
+      r.ok = true;
+    }
+    return r;
+  };
+  FleetSummary summary = RunFleet(specs, options);
+  EXPECT_EQ(summary.completed, 1u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.cancelled, specs.size() - 2);
+  EXPECT_TRUE(summary.results[2].cancelled);
+  EXPECT_FALSE(summary.results[0].cancelled);
+}
+
+TEST(FleetTest, ProgressCallbackSeesEveryRun) {
+  std::vector<ScenarioSpec> specs = TinySuite();
+  size_t calls = 0;
+  size_t max_finished = 0;
+  FleetOptions options;
+  options.jobs = 4;
+  options.progress = [&](const FleetProgress& p) {
+    ++calls;  // serialized under the fleet lock
+    max_finished = std::max(max_finished, p.finished);
+    EXPECT_EQ(p.total, 5u);
+    EXPECT_NE(p.last, nullptr);
+  };
+  FleetSummary summary = RunFleet(specs, options);
+  EXPECT_EQ(summary.completed, specs.size());
+  EXPECT_EQ(calls, specs.size());
+  EXPECT_EQ(max_finished, specs.size());
+}
+
+TEST(FleetTest, EmptySuiteReturnsEmptySummary) {
+  FleetSummary summary = RunFleet({}, FleetOptions{});
+  EXPECT_TRUE(summary.results.empty());
+  EXPECT_EQ(summary.completed, 0u);
+}
+
+TEST(FleetTest, InvalidSpecFailsWithoutRunning) {
+  ScenarioSpec bad;
+  bad.name = "bad";
+  bad.cc = "quic";
+  FleetOptions options;
+  options.jobs = 1;
+  FleetSummary summary = RunFleet({bad}, options);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_NE(summary.results[0].error.find("unknown cc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare the aggregate section of an element_fleet report against a golden.
+
+The fleet's byte-identity contract holds across --jobs on one machine, but
+sample values can drift across standard-library versions (normal_distribution
+is implementation-defined), so CI pins the aggregate with a relative
+tolerance rather than raw bytes:
+
+    check_fleet_golden.py report.json golden.json --rtol 0.05
+
+`--exact` demands numeric equality (use when report and golden come from the
+same toolchain). Structure (keys, counts, statuses) must always match
+exactly; only float leaves get tolerance.
+
+Exit status: 0 match, 1 mismatch, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Integer-valued leaves must match exactly even under --rtol: determinism
+# bugs show up as off-by-a-few sample counts, which a 5% tolerance on a
+# 100k-sample histogram would swallow.
+EXACT_KEYS = {"count", "scenarios", "flows", "retransmits", "total", "completed",
+              "failed", "cancelled"}
+
+
+def compare(path: str, got, want, rtol: float, errors: list[str]) -> None:
+    if isinstance(want, dict):
+        if not isinstance(got, dict):
+            errors.append(f"{path}: expected object, got {type(got).__name__}")
+            return
+        if set(got) != set(want):
+            missing = sorted(set(want) - set(got))
+            extra = sorted(set(got) - set(want))
+            errors.append(f"{path}: key mismatch (missing {missing}, extra {extra})")
+            return
+        for key in sorted(want):
+            compare(f"{path}.{key}", got[key], want[key], rtol, errors)
+    elif isinstance(want, list):
+        if not isinstance(got, list) or len(got) != len(want):
+            errors.append(f"{path}: expected list of {len(want)}")
+            return
+        for i, (g, w) in enumerate(zip(got, want)):
+            compare(f"{path}[{i}]", g, w, rtol, errors)
+    elif isinstance(want, bool) or want is None or isinstance(want, str):
+        if got != want:
+            errors.append(f"{path}: got {got!r}, want {want!r}")
+    else:  # number
+        if not isinstance(got, (int, float)) or isinstance(got, bool):
+            errors.append(f"{path}: expected number, got {got!r}")
+            return
+        leaf = path.rsplit(".", 1)[-1]
+        tol = 0.0 if leaf in EXACT_KEYS else rtol
+        if got == want:
+            return
+        denom = max(abs(want), 1e-12)
+        rel = abs(got - want) / denom
+        if rel > tol:
+            errors.append(f"{path}: got {got}, want {want} (rel err {rel:.3g} > {tol})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="element_fleet output JSON")
+    parser.add_argument("golden", help="golden aggregate JSON")
+    parser.add_argument("--rtol", type=float, default=0.05,
+                        help="relative tolerance for float leaves (default 0.05)")
+    parser.add_argument("--exact", action="store_true",
+                        help="require numeric equality everywhere")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+        with open(args.golden) as f:
+            golden = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_fleet_golden: {e}", file=sys.stderr)
+        return 2
+
+    # The golden pins the aggregate (and counts when present); the report is
+    # a full fleet report or a bare aggregate.
+    got = report.get("aggregate", report)
+    want = golden.get("aggregate", golden)
+    rtol = 0.0 if args.exact else args.rtol
+
+    errors: list[str] = []
+    compare("aggregate", got, want, rtol, errors)
+    if "counts" in golden:
+        compare("counts", report.get("counts"), golden["counts"], 0.0, errors)
+
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"check_fleet_golden: {len(errors)} mismatch(es)", file=sys.stderr)
+        return 1
+    print("check_fleet_golden: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

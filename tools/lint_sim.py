@@ -13,11 +13,20 @@ reproducible; this lint does:
   R4  no libc rand()/srand()/drand48() family
   R5  no `float` in simulator arithmetic — time and byte bookkeeping must use
       int64/double so results do not depend on x87/SSE rounding width
+  R6  no thread spawning (std::thread/std::jthread/std::async/pthread_create)
+      in simulator code — every simulation is single-threaded by design
 
 Scope: src/ is linted with every rule. tests/, bench/, and examples/ are
 linted with R2/R3/R4 only (benchmark harnesses legitimately read wall
 clocks; floats never carry sim state in src/ but may appear in
 plotting-oriented code).
+
+src/runner/ policy: the fleet executor (src/runner/fleet.cc) is the one
+sanctioned parallel driver, so it is exempt from R6 — but wall-clock reads
+there are still findings unless waived line-by-line, and the simulations it
+fans out remain single-threaded (everything the runner calls into is linted
+with the full rule set). std::thread::hardware_concurrency() is a pure query,
+not a spawn, and is allowed everywhere.
 
 A finding can be waived for one line with a trailing comment:
     do_something();  // lint_sim: allow(<rule>)
@@ -67,6 +76,13 @@ RULES = {
         "float in simulator arithmetic; use double or int64_t "
         "(time/byte bookkeeping must not lose precision)",
     ),
+    # (?!::) keeps std::thread::hardware_concurrency() (a query, not a spawn)
+    # out of scope.
+    "thread": (
+        re.compile(r"\bstd::j?thread\b(?!::)|\bstd::async\s*\(|\bpthread_create\b"),
+        "thread spawned in simulator code; parallelism belongs in the "
+        "src/runner/ fleet executor and each simulation stays single-threaded",
+    ),
 }
 
 ALLOW_RE = re.compile(r"//\s*lint_sim:\s*allow\(([a-z-]+)\)")
@@ -77,6 +93,10 @@ STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 EXEMPT = {
     # The one place RNG engines may be constructed and held.
     "src/common/rng.h": {"rng-engine"},
+    # The sanctioned parallel driver: spawns worker threads around (not
+    # inside) deterministic simulations. Wall-clock reads are still findings
+    # here unless waived line-by-line for harness timing.
+    "src/runner/fleet.cc": {"thread"},
 }
 
 
