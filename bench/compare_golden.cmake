@@ -1,0 +1,13 @@
+# Runs BINARY and byte-compares its stdout against GOLDEN. Used by the
+# golden_fig* ctest entries to pin figure outputs across refactors of the
+# event core: any ordering or RNG-consumption change shows up as a diff.
+execute_process(COMMAND ${BINARY} OUTPUT_VARIABLE actual RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${rc}")
+endif()
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+  file(WRITE ${GOLDEN}.actual "${actual}")
+  message(FATAL_ERROR "output of ${BINARY} differs from golden ${GOLDEN}; "
+                      "actual output written to ${GOLDEN}.actual")
+endif()

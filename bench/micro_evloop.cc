@@ -1,0 +1,179 @@
+// Event-core microbenchmark: the numbers behind BENCH_evloop.json and the
+// CI perf-smoke floor.
+//
+// Three workloads, each reported as a rate:
+//   schedule_fire  — schedule 1M one-shot events at ascending times, run the
+//                    loop dry (the pure fire-path cost: pop + dispatch).
+//   churn          — the TCP RTO re-arm pattern: keep one far-future event
+//                    pending and cancel/re-schedule it 2M times, then drain.
+//                    On a tombstoning core the queue grows with every cancel;
+//                    on the slab core it stays at one slot.
+//   tcp_codel      — a full TCP-over-CoDel bulk transfer (Testbed, cubic,
+//                    10 Mbps bottleneck) for 30 simulated seconds; reports
+//                    both events/sec and sim-seconds per wall-second.
+//
+// Usage:
+//   micro_evloop                      print a JSON metrics object
+//   micro_evloop --floor <file.json>  also enforce min_* floors from the file
+//                                     (exit 1 on regression below a floor)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/evloop/event_loop.h"
+#include "src/runner/json.h"
+#include "src/tcpsim/testbed.h"
+
+namespace element {
+namespace {
+
+double NowSeconds() {
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+// Runs `body` once and returns wall seconds elapsed.
+template <typename Body>
+double Timed(Body&& body) {
+  double start = NowSeconds();
+  body();
+  return NowSeconds() - start;
+}
+
+constexpr int kScheduleFireEvents = 1'000'000;
+constexpr int kChurnOps = 2'000'000;
+constexpr double kTcpCodelSimSeconds = 30.0;
+
+double BenchScheduleFire() {
+  EventLoop loop;
+  uint64_t sink = 0;
+  double secs = Timed([&] {
+    for (int i = 0; i < kScheduleFireEvents; ++i) {
+      loop.ScheduleAfter(TimeDelta::FromNanos(i), [&sink] { ++sink; });
+    }
+    loop.Run();
+  });
+  if (sink != kScheduleFireEvents) {
+    std::fprintf(stderr, "schedule_fire dropped events: %llu\n",
+                 static_cast<unsigned long long>(sink));
+    std::exit(1);
+  }
+  return kScheduleFireEvents / secs;
+}
+
+double BenchChurn() {
+  EventLoop loop;
+  uint64_t sink = 0;
+  double secs = Timed([&] {
+    // One re-armed far-future timeout (the RTO) plus a trickle of near
+    // events so the clock advances, exactly as a transfer's ACK stream does.
+    auto rto = loop.ScheduleAfter(TimeDelta::FromSecondsInt(60), [&sink] { ++sink; });
+    for (int i = 0; i < kChurnOps; ++i) {
+      loop.Cancel(rto);
+      rto = loop.ScheduleAfter(TimeDelta::FromSecondsInt(60) + TimeDelta::FromNanos(i),
+                               [&sink] { ++sink; });
+      if ((i & 1023) == 0) {
+        loop.ScheduleAfter(TimeDelta::FromNanos(i), [&sink] { ++sink; });
+        loop.RunUntil(loop.now() + TimeDelta::FromNanos(1));
+      }
+    }
+    loop.Run();
+  });
+  return kChurnOps / secs;
+}
+
+struct TcpCodelResult {
+  double events_per_sec = 0.0;
+  double sim_seconds_per_sec = 0.0;
+};
+
+TcpCodelResult BenchTcpCodel() {
+  PathConfig path;
+  path.qdisc = QdiscType::kCoDel;
+  path.rate = DataRate::Mbps(10);
+  path.one_way_delay = TimeDelta::FromMillis(25);
+  Testbed bed(/*seed=*/7, path);
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  auto pump = [&] {
+    while (flow.sender->Write(1 << 20) > 0) {
+    }
+  };
+  flow.sender->SetEstablishedCallback(pump);
+  flow.sender->SetWritableCallback(pump);
+  flow.receiver->SetReadableCallback([&] { flow.receiver->Read(1 << 20); });
+
+  double secs = Timed([&] {
+    bed.loop().RunUntil(SimTime::FromNanos(static_cast<int64_t>(kTcpCodelSimSeconds * 1e9)));
+  });
+  TcpCodelResult r;
+  r.events_per_sec = static_cast<double>(bed.loop().processed_events()) / secs;
+  r.sim_seconds_per_sec = kTcpCodelSimSeconds / secs;
+  return r;
+}
+
+int Run(const std::string& floor_path) {
+  json::Value out = json::Value::Object();
+  double fire = BenchScheduleFire();
+  double churn = BenchChurn();
+  TcpCodelResult tcp = BenchTcpCodel();
+  out.Set("schedule_fire_events_per_sec", json::Value::Number(fire));
+  out.Set("churn_ops_per_sec", json::Value::Number(churn));
+  out.Set("tcp_codel_events_per_sec", json::Value::Number(tcp.events_per_sec));
+  out.Set("tcp_codel_sim_seconds_per_sec", json::Value::Number(tcp.sim_seconds_per_sec));
+  std::printf("%s\n", out.Dump(2).c_str());
+
+  if (floor_path.empty()) {
+    return 0;
+  }
+  std::ifstream in(floor_path);
+  if (!in) {
+    std::fprintf(stderr, "micro_evloop: cannot open floor file %s\n", floor_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  json::Value floor;
+  std::string error;
+  if (!json::Value::Parse(buf.str(), &floor, &error)) {
+    std::fprintf(stderr, "micro_evloop: bad floor file: %s\n", error.c_str());
+    return 2;
+  }
+  int failures = 0;
+  auto check = [&](const char* key, double measured) {
+    const json::Value* min = floor.Find(key);
+    if (min == nullptr) {
+      return;
+    }
+    if (measured < min->AsDouble()) {
+      std::fprintf(stderr, "micro_evloop: %s = %.3g below floor %.3g\n", key, measured,
+                   min->AsDouble());
+      ++failures;
+    }
+  };
+  check("min_schedule_fire_events_per_sec", fire);
+  check("min_churn_ops_per_sec", churn);
+  check("min_tcp_codel_events_per_sec", tcp.events_per_sec);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace element
+
+int main(int argc, char** argv) {
+  std::string floor_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--floor" && i + 1 < argc) {
+      floor_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--floor floors.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  return element::Run(floor_path);
+}

@@ -38,7 +38,7 @@ BENCHMARK(BM_EventLoopScheduleAndRun);
 void BM_EventLoopCancelHalf(benchmark::State& state) {
   for (auto _ : state) {
     EventLoop loop;
-    std::vector<EventLoop::EventId> ids;
+    std::vector<EventHandle> ids;
     int sink = 0;
     for (int i = 0; i < 1000; ++i) {
       ids.push_back(loop.ScheduleAfter(TimeDelta::FromMicros(i), [&sink] { ++sink; }));

@@ -1,0 +1,137 @@
+// Fixed-block free-list arena for per-loop object recycling.
+//
+// The simulator's steady-state forwarding path allocates one protocol payload
+// per packet (TcpSegmentPayload / UdpDatagramPayload, held by shared_ptr
+// inside Packet). Each EventLoop owns one FreeListArena; payloads are drawn
+// from it via ArenaAllocator + std::allocate_shared, so after warm-up the
+// payload + control block come off the freelist and return to it when the
+// last Packet copy dies — no malloc/free churn per packet.
+//
+// Rules (see docs/evloop.md):
+//   - the arena is single-threaded, like the loop that owns it;
+//   - blocks handed out must be freed back before the arena is destroyed
+//     (payloads must not outlive their loop);
+//   - requests larger than kBlockBytes fall through to the global heap, so
+//     oversized payload types degrade gracefully instead of corrupting the
+//     freelist.
+//
+// A debug-build audit (ELEMENT_AUDIT) catches double-frees: returning a block
+// already on the freelist aborts with the offending pointer.
+
+#ifndef ELEMENT_SRC_COMMON_ARENA_H_
+#define ELEMENT_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace element {
+
+class FreeListArena {
+ public:
+  // Covers shared_ptr control block + the largest pooled payload with room
+  // to spare; a multiple of the default operator-new alignment.
+  static constexpr size_t kBlockBytes = 192;
+  static constexpr size_t kBlocksPerChunk = 64;
+
+  FreeListArena() = default;
+  FreeListArena(const FreeListArena&) = delete;
+  FreeListArena& operator=(const FreeListArena&) = delete;
+
+  void* Allocate(size_t bytes) {
+    if (bytes > kBlockBytes) {
+      ++oversize_allocs_;
+      return ::operator new(bytes);
+    }
+    ++pool_allocs_;
+    if (free_head_ == nullptr) {
+      Grow();
+    }
+    FreeNode* node = free_head_;
+    free_head_ = node->next;
+    if constexpr (kAuditsEnabled) {
+      live_audit_.erase(node);
+    }
+    return node;
+  }
+
+  void Free(void* p, size_t bytes) {
+    if (bytes > kBlockBytes) {
+      ::operator delete(p);
+      return;
+    }
+    if constexpr (kAuditsEnabled) {
+      ELEMENT_AUDIT(live_audit_.insert(p).second)
+          << "arena double-free of block " << p;
+    }
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = free_head_;
+    free_head_ = node;
+  }
+
+  // Blocks ever carved from chunks (bounded-growth assertions in tests).
+  size_t capacity_blocks() const { return chunks_.size() * kBlocksPerChunk; }
+  uint64_t pool_allocs() const { return pool_allocs_; }
+  uint64_t oversize_allocs() const { return oversize_allocs_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(FreeNode) <= kBlockBytes);
+  static_assert(kBlockBytes % alignof(std::max_align_t) == 0);
+
+  void Grow() {
+    auto chunk = std::make_unique<unsigned char[]>(kBlockBytes * kBlocksPerChunk);
+    for (size_t i = kBlocksPerChunk; i > 0; --i) {
+      FreeNode* node = reinterpret_cast<FreeNode*>(chunk.get() + (i - 1) * kBlockBytes);
+      node->next = free_head_;
+      free_head_ = node;
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  FreeNode* free_head_ = nullptr;
+  uint64_t pool_allocs_ = 0;
+  uint64_t oversize_allocs_ = 0;
+  // Debug-only double-free detection: the set of blocks currently free.
+  std::unordered_set<void*> live_audit_;
+};
+
+// Minimal std allocator over a FreeListArena, for std::allocate_shared.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(FreeListArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) { return static_cast<T*>(arena_->Allocate(n * sizeof(T))); }
+  void deallocate(T* p, size_t n) { arena_->Free(p, n * sizeof(T)); }
+
+  FreeListArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  FreeListArena* arena_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_COMMON_ARENA_H_

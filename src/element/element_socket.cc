@@ -5,7 +5,10 @@
 namespace element {
 
 ElementSocket::ElementSocket(EventLoop* loop, TcpSocket* socket, const Options& options)
-    : loop_(loop), socket_(socket), options_(options) {
+    : loop_(loop),
+      socket_(socket),
+      options_(options),
+      retry_timer_(loop, [this] { OnGateRetry(); }) {
   tracker_ = std::make_unique<TcpInfoTracker>(loop, socket, options.tracker_period);
   tracker_->set_sender_estimator(&sender_est_);
   tracker_->set_receiver_estimator(&receiver_est_);
@@ -38,10 +41,7 @@ ElementSocket::ElementSocket(EventLoop* loop, TcpSocket* socket, const Options& 
   });
 }
 
-ElementSocket::~ElementSocket() {
-  *alive_ = false;
-  socket_->SetWritableCallback(nullptr);
-}
+ElementSocket::~ElementSocket() { socket_->SetWritableCallback(nullptr); }
 
 RetInfo ElementSocket::MakeRetInfo(long size, double buf_delay_s) const {
   RetInfo info;
@@ -71,25 +71,21 @@ void ElementSocket::SetReadyToSendCallback(std::function<void()> cb) {
 }
 
 void ElementSocket::ArmGateRetry() {
-  if (retry_armed_ || !controller_) {
+  if (retry_timer_.pending() || !controller_) {
     return;
   }
-  retry_armed_ = true;
-  TimeDelta delay = controller_->NextRetryDelay();
-  auto alive = alive_;
-  loop_->ScheduleAfter(delay, [this, alive] {
-    if (!*alive) {
-      return;
-    }
-    retry_armed_ = false;
-    if (ready_cb_) {
-      if (MaySendNow() || controller_->MaySendNow()) {
-        ready_cb_();
-      } else {
-        ArmGateRetry();
-      }
-    }
-  });
+  retry_timer_.RestartAfter(controller_->NextRetryDelay());
+}
+
+void ElementSocket::OnGateRetry() {
+  if (!ready_cb_) {
+    return;
+  }
+  if (MaySendNow() || controller_->MaySendNow()) {
+    ready_cb_();
+  } else {
+    ArmGateRetry();
+  }
 }
 
 RetInfo ElementSocket::Send(size_t n) {

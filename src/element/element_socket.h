@@ -81,11 +81,11 @@ class ElementSocket {
  private:
   RetInfo MakeRetInfo(long size, double buf_delay_s) const;
   void ArmGateRetry();
+  void OnGateRetry();
 
   EventLoop* loop_;
   TcpSocket* socket_;
   Options options_;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::unique_ptr<TcpInfoTracker> tracker_;
   SenderDelayEstimator sender_est_;
@@ -94,7 +94,7 @@ class ElementSocket {
   std::unique_ptr<RateController> controller_;
 
   std::function<void()> ready_cb_;
-  bool retry_armed_ = false;
+  Timer retry_timer_;
 };
 
 }  // namespace element

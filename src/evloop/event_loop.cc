@@ -6,83 +6,328 @@
 
 namespace element {
 
-EventLoop::EventId EventLoop::ScheduleAt(SimTime at, Callback cb) {
+// ---------------------------------------------------------------------------
+// Slab
+// ---------------------------------------------------------------------------
+
+EventLoop::~EventLoop() = default;
+
+uint32_t EventLoop::AllocSlot() {
+  if (free_head_ == EventHandle::kInvalidSlot) {
+    uint32_t base = static_cast<uint32_t>(chunks_.size()) << kChunkShift;
+    chunks_.push_back(std::make_unique<Record[]>(kChunkSize));
+    // Thread the fresh chunk onto the freelist, lowest slot on top so ids
+    // are handed out in address order.
+    for (uint32_t i = kChunkSize; i > 1; --i) {
+      record(base + i - 1).next_free = free_head_;
+      free_head_ = base + i - 1;
+    }
+    return base;
+  }
+  uint32_t slot = free_head_;
+  free_head_ = record(slot).next_free;
+  return slot;
+}
+
+void EventLoop::FreeSlot(uint32_t slot) {
+  Record& r = record(slot);
+  ++r.generation;  // invalidates outstanding handles to this slot
+  r.kind = Record::Kind::kFree;
+  r.heap_index = kNotInHeap;
+  r.fn = nullptr;
+  r.arg = nullptr;
+  r.cb = InlineCallback();
+  r.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary min-heap over (at, seq), with back-pointers for O(log n) removal
+// ---------------------------------------------------------------------------
+
+void EventLoop::SiftUp(uint32_t index) {
+  uint32_t slot = heap_[index];
+  const Record& r = record(slot);
+  while (index > 0) {
+    uint32_t parent = (index - 1) >> 2;
+    uint32_t parent_slot = heap_[parent];
+    if (!Earlier(r, record(parent_slot))) {
+      break;
+    }
+    heap_[index] = parent_slot;
+    record(parent_slot).heap_index = index;
+    index = parent;
+  }
+  heap_[index] = slot;
+  record(slot).heap_index = index;
+}
+
+void EventLoop::SiftDown(uint32_t index) {
+  uint32_t slot = heap_[index];
+  const Record& r = record(slot);
+  const uint32_t size = static_cast<uint32_t>(heap_.size());
+  while (true) {
+    uint32_t first_child = (index << 2) + 1;
+    if (first_child >= size) {
+      break;
+    }
+    uint32_t last_child = first_child + 4 <= size ? first_child + 4 : size;
+    uint32_t best = first_child;
+    for (uint32_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(record(heap_[c]), record(heap_[best]))) {
+        best = c;
+      }
+    }
+    uint32_t best_slot = heap_[best];
+    if (!Earlier(record(best_slot), r)) {
+      break;
+    }
+    heap_[index] = best_slot;
+    record(best_slot).heap_index = index;
+    index = best;
+  }
+  heap_[index] = slot;
+  record(slot).heap_index = index;
+}
+
+void EventLoop::HeapPush(uint32_t slot) {
+  heap_.push_back(slot);
+  record(slot).heap_index = static_cast<uint32_t>(heap_.size()) - 1;
+  SiftUp(record(slot).heap_index);
+}
+
+void EventLoop::HeapRemove(uint32_t slot) {
+  uint32_t index = record(slot).heap_index;
+  ELEMENT_DCHECK(index != kNotInHeap && index < heap_.size() && heap_[index] == slot)
+      << "heap back-pointer corrupt for slot " << slot;
+  record(slot).heap_index = kNotInHeap;
+  uint32_t last_slot = heap_.back();
+  heap_.pop_back();
+  if (last_slot == slot) {
+    return;
+  }
+  heap_[index] = last_slot;
+  record(last_slot).heap_index = index;
+  // The replacement may need to move either way relative to its new parent.
+  SiftUp(index);
+  SiftDown(record(last_slot).heap_index);
+}
+
+void EventLoop::HeapPopTop() {
+  uint32_t slot = heap_[0];
+  record(slot).heap_index = kNotInHeap;
+  uint32_t last_slot = heap_.back();
+  heap_.pop_back();
+  if (last_slot != slot) {
+    heap_[0] = last_slot;
+    record(last_slot).heap_index = 0;
+    SiftDown(0);
+  }
+}
+
+void EventLoop::AuditHeapInvariant() const {
+  for (uint32_t i = 0; i < heap_.size(); ++i) {
+    const Record& r = record(heap_[i]);
+    ELEMENT_AUDIT(r.heap_index == i)
+        << "heap back-pointer mismatch at index " << i << ": slot " << heap_[i]
+        << " claims index " << r.heap_index;
+    ELEMENT_AUDIT(r.kind != Record::Kind::kFree)
+        << "freed slot " << heap_[i] << " still in heap at index " << i;
+    if (i > 0) {
+      const Record& parent = record(heap_[(i - 1) >> 2]);
+      ELEMENT_AUDIT(!Earlier(r, parent))
+          << "heap order violated: child at index " << i << " (t=" << r.at.nanos()
+          << " seq=" << r.seq << ") earlier than parent (t=" << parent.at.nanos()
+          << " seq=" << parent.seq << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+EventHandle EventLoop::ScheduleAt(SimTime at, Callback cb) {
   if (at < now_) {
     at = now_;
   }
-  EventId id = next_id_++;
-  queue_.push(Event{at, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot = AllocSlot();
+  Record& r = record(slot);
+  r.at = at;
+  r.seq = next_seq_++;
+  r.kind = Record::Kind::kOneShot;
+  r.cb = std::move(cb);
+  HeapPush(slot);
+  return EventHandle{slot, r.generation};
 }
 
-EventLoop::EventId EventLoop::ScheduleAfter(TimeDelta delay, Callback cb) {
+EventHandle EventLoop::ScheduleAfter(TimeDelta delay, Callback cb) {
   return ScheduleAt(now_ + delay, std::move(cb));
 }
 
-void EventLoop::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it != callbacks_.end()) {
-    callbacks_.erase(it);
-    cancelled_.insert(id);
+bool EventLoop::Cancel(EventHandle h) {
+  if (!h.IsValid() || (h.slot >> kChunkShift) >= chunks_.size()) {
+    return false;
+  }
+  Record& r = record(h.slot);
+  if (r.generation != h.generation || r.kind == Record::Kind::kFree) {
+    return false;  // already fired, already cancelled, or slot reused
+  }
+  ELEMENT_AUDIT(r.kind == Record::Kind::kOneShot)
+      << "EventLoop::Cancel on a Timer-owned slot " << h.slot
+      << "; use Timer::Cancel instead";
+  HeapRemove(h.slot);
+  FreeSlot(h.slot);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Timer plumbing
+// ---------------------------------------------------------------------------
+
+EventHandle EventLoop::AllocTrampoline(void (*fn)(void*), void* arg) {
+  uint32_t slot = AllocSlot();
+  Record& r = record(slot);
+  r.kind = Record::Kind::kTrampoline;
+  r.fn = fn;
+  r.arg = arg;
+  return EventHandle{slot, r.generation};
+}
+
+void EventLoop::ArmTrampoline(EventHandle h, SimTime at) {
+  Record& r = record(h.slot);
+  ELEMENT_DCHECK(r.generation == h.generation && r.kind == Record::Kind::kTrampoline)
+      << "stale trampoline handle " << h.slot;
+  if (at < now_) {
+    at = now_;
+  }
+  r.at = at;
+  r.seq = next_seq_++;  // a re-arm orders like a fresh schedule
+  if (r.heap_index == kNotInHeap) {
+    HeapPush(h.slot);
+  } else {
+    // In-place re-arm: restore heap order from the slot's current position.
+    SiftUp(r.heap_index);
+    SiftDown(r.heap_index);
   }
 }
 
-bool EventLoop::PopRunnable(SimTime deadline, Event* out) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    if (ev.at > deadline) {
-      return false;
-    }
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(ev.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    *out = ev;
-    return true;
+bool EventLoop::DisarmTrampoline(EventHandle h) {
+  Record& r = record(h.slot);
+  ELEMENT_DCHECK(r.generation == h.generation && r.kind == Record::Kind::kTrampoline)
+      << "stale trampoline handle " << h.slot;
+  if (r.heap_index == kNotInHeap) {
+    return false;
   }
-  return false;
+  HeapRemove(h.slot);
+  return true;
 }
 
-void EventLoop::Run() {
+void EventLoop::ReleaseTrampoline(EventHandle h) {
+  Record& r = record(h.slot);
+  ELEMENT_DCHECK(r.generation == h.generation && r.kind == Record::Kind::kTrampoline)
+      << "stale trampoline handle " << h.slot;
+  if (r.heap_index != kNotInHeap) {
+    HeapRemove(h.slot);
+  }
+  FreeSlot(h.slot);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+uint32_t EventLoop::PopRunnable(SimTime deadline) {
+  if (heap_.empty()) {
+    return EventHandle::kInvalidSlot;
+  }
+  uint32_t slot = heap_[0];
+  if (record(slot).at > deadline) {
+    return EventHandle::kInvalidSlot;
+  }
+  HeapPopTop();
+  return slot;
+}
+
+void EventLoop::RunLoop(SimTime deadline) {
   stopped_ = false;
-  Event ev;
-  while (!stopped_ && PopRunnable(SimTime::Infinite(), &ev)) {
-    ELEMENT_AUDIT(ev.at >= now_) << "event loop time went backwards: now=" << now_.nanos()
-                                 << "ns event=" << ev.at.nanos() << "ns id=" << ev.id;
-    now_ = ev.at;
-    auto it = callbacks_.find(ev.id);
-    ELEMENT_DCHECK(it != callbacks_.end()) << "fired event " << ev.id << " has no callback";
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+  uint32_t slot;
+  while (!stopped_ && (slot = PopRunnable(deadline)) != EventHandle::kInvalidSlot) {
+    Record& r = record(slot);
+    ELEMENT_AUDIT(r.at >= now_) << "event loop time went backwards: now=" << now_.nanos()
+                                << "ns event=" << r.at.nanos() << "ns seq=" << r.seq;
+    now_ = r.at;
     ++processed_;
-    cb();
+    if constexpr (kAuditsEnabled) {
+      if ((processed_ & 1023) == 0) {
+        AuditHeapInvariant();
+      }
+    }
+    if (r.kind == Record::Kind::kOneShot) {
+      // Move the callable out and free the slot before invoking: the
+      // callback may schedule (and thereby reuse) slots, including this one.
+      Callback cb = std::move(r.cb);
+      FreeSlot(slot);
+      cb();
+    } else {
+      // Timer fire: the slot stays allocated (its Timer owns it) so the
+      // callback can Restart() in place. Copy fn/arg out first — the
+      // callback may destroy the Timer, releasing the slot.
+      auto* fn = r.fn;
+      void* arg = r.arg;
+      fn(arg);
+    }
   }
 }
+
+void EventLoop::Run() { RunLoop(SimTime::Infinite()); }
 
 void EventLoop::RunUntil(SimTime deadline) {
-  stopped_ = false;
-  Event ev;
-  while (!stopped_ && PopRunnable(deadline, &ev)) {
-    ELEMENT_AUDIT(ev.at >= now_) << "event loop time went backwards: now=" << now_.nanos()
-                                 << "ns event=" << ev.at.nanos() << "ns id=" << ev.id;
-    now_ = ev.at;
-    auto it = callbacks_.find(ev.id);
-    ELEMENT_DCHECK(it != callbacks_.end()) << "fired event " << ev.id << " has no callback";
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    ++processed_;
-    cb();
-  }
+  RunLoop(deadline);
   if (!stopped_ && deadline > now_ && !deadline.IsInfinite()) {
     now_ = deadline;
   }
 }
 
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+Timer::~Timer() {
+  if (handle_.IsValid()) {
+    loop_->ReleaseTrampoline(handle_);
+  }
+}
+
+void Timer::FireTrampoline(void* self) {
+  Timer* timer = static_cast<Timer*>(self);
+  timer->pending_ = false;
+  timer->cb_();
+}
+
+void Timer::Restart(SimTime at) {
+  if (!handle_.IsValid()) {
+    handle_ = loop_->AllocTrampoline(&Timer::FireTrampoline, this);
+  }
+  loop_->ArmTrampoline(handle_, at);
+  pending_ = true;
+  deadline_ = at < loop_->now() ? loop_->now() : at;
+}
+
+bool Timer::Cancel() {
+  if (!pending_) {
+    return false;
+  }
+  pending_ = false;
+  return loop_->DisarmTrampoline(handle_);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicTimer
+// ---------------------------------------------------------------------------
+
 PeriodicTimer::PeriodicTimer(EventLoop* loop, TimeDelta period, EventLoop::Callback cb)
-    : loop_(loop), period_(period), cb_(std::move(cb)) {}
+    : loop_(loop), period_(period), cb_(std::move(cb)), timer_(loop, [this] { Fire(); }) {}
 
 PeriodicTimer::~PeriodicTimer() { Stop(); }
 
@@ -91,7 +336,8 @@ void PeriodicTimer::Start() {
     return;
   }
   running_ = true;
-  pending_ = loop_->ScheduleAfter(period_, [this] { Fire(); });
+  base_ = loop_->now();
+  timer_.RestartAfter(period_);
 }
 
 void PeriodicTimer::Stop() {
@@ -99,16 +345,25 @@ void PeriodicTimer::Stop() {
     return;
   }
   running_ = false;
-  loop_->Cancel(pending_);
-  pending_ = 0;
+  timer_.Cancel();
+}
+
+void PeriodicTimer::set_period(TimeDelta p) {
+  period_ = p;
+  if (running_ && timer_.pending()) {
+    // Re-arm the in-flight fire against the same anchor: the next fire lands
+    // at (last fire or Start) + new period, clamped to now by Restart().
+    timer_.Restart(base_ + period_);
+  }
 }
 
 void PeriodicTimer::Fire() {
   if (!running_) {
     return;
   }
+  base_ = loop_->now();
   // Re-arm before invoking so the callback may Stop() or change the period.
-  pending_ = loop_->ScheduleAfter(period_, [this] { Fire(); });
+  timer_.RestartAfter(period_);
   cb_();
 }
 

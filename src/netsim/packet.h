@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/time.h"
 
 namespace element {
@@ -16,6 +18,17 @@ namespace element {
 struct Payload {
   virtual ~Payload() = default;
 };
+
+// Allocates a payload (object + shared_ptr control block in one node) from a
+// free-list arena — on the forwarding hot path, the loop's payload arena
+// (EventLoop::payload_arena()), so steady-state packet emission recycles
+// blocks instead of hitting the allocator. The returned pointer is mutable so
+// callers can finish initialization before handing it to Packet::payload.
+// Pooled payloads must not outlive the arena (in practice: the loop).
+template <typename T, typename... Args>
+std::shared_ptr<T> MakePooledPayload(FreeListArena& arena, Args&&... args) {
+  return std::allocate_shared<T>(ArenaAllocator<T>(&arena), std::forward<Args>(args)...);
+}
 
 struct Packet {
   uint64_t flow_id = 0;     // demultiplexing key (one id per connection)

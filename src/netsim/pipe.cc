@@ -10,7 +10,8 @@ Pipe::Pipe(EventLoop* loop, Rng rng, std::unique_ptr<Qdisc> qdisc,
       rng_(std::move(rng)),
       qdisc_(std::move(qdisc)),
       link_(std::move(link)),
-      out_(out) {}
+      out_(out),
+      tx_timer_(loop, [this] { OnTxTimer(); }) {}
 
 void Pipe::Send(Packet pkt) {
   // Kick the transmitter even when the queue drops this packet: the line may
@@ -36,27 +37,36 @@ void Pipe::MaybeStartTransmission() {
     return;
   }
   busy_ = true;
-  TransmitOrPark(std::move(*pkt));
+  txing_ = std::move(*pkt);
+  TransmitOrPark();
 }
 
-void Pipe::TransmitOrPark(Packet pkt) {
+void Pipe::TransmitOrPark() {
   DataRate rate = link_->RateAt(loop_->now());
-  TimeDelta tx_time = rate.TransmitTime(pkt.size_bytes);
+  TimeDelta tx_time = rate.TransmitTime(txing_->size_bytes);
   if (tx_time.IsInfinite()) {
     // Link outage: hold this packet at the head of the line and retry; the
     // pipe stays busy so ordering is preserved and nothing is re-dropped.
-    loop_->ScheduleAfter(TimeDelta::FromMillis(10), [this, p = std::move(pkt)]() mutable {
-      TransmitOrPark(std::move(p));
-    });
+    parked_ = true;
+    tx_timer_.RestartAfter(TimeDelta::FromMillis(10));
     return;
   }
-  loop_->ScheduleAfter(tx_time, [this, p = std::move(pkt)]() mutable {
-    OnTransmitComplete(std::move(p));
-  });
+  parked_ = false;
+  tx_timer_.RestartAfter(tx_time);
 }
 
-void Pipe::OnTransmitComplete(Packet pkt) {
+void Pipe::OnTxTimer() {
+  if (parked_) {
+    TransmitOrPark();
+  } else {
+    OnTransmitComplete();
+  }
+}
+
+void Pipe::OnTransmitComplete() {
   busy_ = false;
+  Packet pkt = std::move(*txing_);
+  txing_.reset();
   if (link_->DropOnWire(rng_, loop_->now())) {
     ++stats_.wire_dropped_packets;
   } else {
@@ -68,11 +78,16 @@ void Pipe::OnTransmitComplete(Packet pkt) {
     last_delivery_ = deliver_at;
     ++stats_.delivered_packets;
     stats_.delivered_bytes += pkt.size_bytes;
-    loop_->ScheduleAt(deliver_at, [this, p = std::move(pkt)]() mutable {
-      out_->Deliver(std::move(p));
-    });
+    wire_.push_back(std::move(pkt));
+    loop_->ScheduleAt(deliver_at, [this] { DeliverFront(); });
   }
   MaybeStartTransmission();
+}
+
+void Pipe::DeliverFront() {
+  Packet pkt = std::move(wire_.front());
+  wire_.pop_front();
+  out_->Deliver(std::move(pkt));
 }
 
 void Demux::Deliver(Packet pkt) {

@@ -6,7 +6,9 @@
 #define ELEMENT_SRC_NETSIM_PIPE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "src/common/rng.h"
@@ -40,8 +42,10 @@ class Pipe : public PacketSink {
 
  private:
   void MaybeStartTransmission();
-  void TransmitOrPark(Packet pkt);
-  void OnTransmitComplete(Packet pkt);
+  void TransmitOrPark();
+  void OnTxTimer();
+  void OnTransmitComplete();
+  void DeliverFront();
 
   EventLoop* loop_;
   Rng rng_;
@@ -51,6 +55,17 @@ class Pipe : public PacketSink {
   bool busy_ = false;
   SimTime last_delivery_ = SimTime::Zero();  // enforces in-order delivery
   PipeStats stats_;
+
+  // Head-of-line packet being serialized (or parked during an outage). The
+  // serializer timer re-arms in place instead of scheduling fresh events.
+  std::optional<Packet> txing_;
+  bool parked_ = false;
+  Timer tx_timer_;
+  // Transmitted packets awaiting propagation delivery. Delivery times are
+  // clamped monotonic and equal-time events fire in schedule order, so the
+  // scheduled [this] events pop in FIFO order — the callbacks carry no
+  // payload and stay inside the loop's inline callback storage.
+  std::deque<Packet> wire_;
 };
 
 // Routes delivered packets to per-flow endpoints.

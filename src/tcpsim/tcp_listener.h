@@ -20,7 +20,7 @@ namespace element {
 
 class TcpListener : public PacketSink {
  public:
-  using AcceptCallback = std::function<void(TcpSocket*)>;
+  using AcceptCallback = std::function<void(TcpSocket*)>;  // lint_sim: allow(std-function)
 
   // `rx_demux` is the demux on the listener's side of the path; `tx` is the
   // pipe its sockets reply into. The listener installs itself as the demux

@@ -26,26 +26,38 @@ TcpSocket::TcpSocket(EventLoop* loop, Rng rng, Config config, uint64_t flow_id, 
       flow_id_(flow_id),
       tx_(tx),
       rx_demux_(rx_demux),
+      syn_retry_timer_(loop, [this] { OnSynRetry(); }),
       sndbuf_(config.sndbuf_bytes),
       sndbuf_autotune_(config.sndbuf_autotune),
-      rto_(config.initial_rto) {
+      rto_(config.initial_rto),
+      rto_timer_(loop, [this] { OnRtoFire(); }),
+      pacing_timer_(loop, [this] { TrySendData(); }),
+      writable_notify_timer_(loop,
+                             [this] {
+                               if (writable_cb_) {
+                                 writable_cb_();
+                               }
+                             }),
+      fin_retry_timer_(loop,
+                       [this] {
+                         if (!fin_acked_) {
+                           SendFinSegment();
+                         }
+                       }),
+      delayed_ack_timer_(loop, [this] { SendAck(); }),
+      readable_wakeup_timer_(loop, [this] {
+        if (ReadableBytes() > 0 && readable_cb_) {
+          readable_cb_();
+        }
+      }) {
   cc_ = MakeCongestionControl(config_.congestion_control);
   rx_demux_->Register(flow_id_, this);
 }
 
 TcpSocket::~TcpSocket() {
-  *alive_ = false;
+  // Timers cancel themselves on destruction; nothing scheduled by this socket
+  // can fire after this point.
   rx_demux_->Unregister(flow_id_);
-  CancelRto();
-  if (delayed_ack_event_ != 0) {
-    loop_->Cancel(delayed_ack_event_);
-  }
-  if (syn_retry_event_ != 0) {
-    loop_->Cancel(syn_retry_event_);
-  }
-  if (fin_retry_event_ != 0) {
-    loop_->Cancel(fin_retry_event_);
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -60,15 +72,15 @@ void TcpSocket::Connect() {
   syn.syn = true;
   syn.receive_window = AdvertisedWindow();
   EmitSegment(syn, 0);
-  auto alive = alive_;
-  syn_retry_event_ = loop_->ScheduleAfter(kSynRetry, [this, alive] {
-    if (!*alive || state_ != State::kSynSent) {
-      return;
-    }
-    syn_retry_event_ = 0;
-    state_ = State::kClosed;
-    Connect();
-  });
+  syn_retry_timer_.RestartAfter(kSynRetry);
+}
+
+void TcpSocket::OnSynRetry() {
+  if (state_ != State::kSynSent) {
+    return;
+  }
+  state_ = State::kClosed;
+  Connect();
 }
 
 void TcpSocket::Listen() {
@@ -192,16 +204,8 @@ void TcpSocket::TrySendData() {
       break;
     }
     if (pacing.has_value() && !pacing->IsZero() && loop_->now() < next_send_time_) {
-      if (!pacing_wakeup_armed_) {
-        pacing_wakeup_armed_ = true;
-        auto alive = alive_;
-        loop_->ScheduleAt(next_send_time_, [this, alive] {
-          if (!*alive) {
-            return;
-          }
-          pacing_wakeup_armed_ = false;
-          TrySendData();
-        });
+      if (!pacing_timer_.pending()) {
+        pacing_timer_.Restart(next_send_time_);
       }
       break;
     }
@@ -286,7 +290,7 @@ void TcpSocket::SendDataSegment(uint64_t seq, uint32_t len, bool retransmit) {
   // Arm on first transmission; restart on retransmissions so the timer
   // tracks the newest repair attempt (tcp_rearm_rto behaviour) instead of
   // racing with an in-progress SACK recovery.
-  if (retransmit || rto_event_ == 0) {
+  if (retransmit || !rto_timer_.pending()) {
     ArmRto();
   }
 }
@@ -346,17 +350,7 @@ void TcpSocket::SendFinSegment() {
   fin.receive_window = AdvertisedWindow();
   EmitSegment(fin, 0);
   // Retransmit until acknowledged, with the connection's current RTO.
-  if (fin_retry_event_ != 0) {
-    loop_->Cancel(fin_retry_event_);
-  }
-  auto alive = alive_;
-  fin_retry_event_ = loop_->ScheduleAfter(rto_, [this, alive] {
-    if (!*alive || fin_acked_) {
-      return;
-    }
-    fin_retry_event_ = 0;
-    SendFinSegment();
-  });
+  fin_retry_timer_.RestartAfter(rto_);
 }
 
 void TcpSocket::ProcessSackBlocks(const std::vector<SackBlock>& blocks,
@@ -465,10 +459,7 @@ void TcpSocket::OnAckSegment(const TcpSegmentPayload& seg) {
     }
     if (fin_sent_ && !fin_acked_ && ack >= fin_seq_ + 1) {
       fin_acked_ = true;
-      if (fin_retry_event_ != 0) {
-        loop_->Cancel(fin_retry_event_);
-        fin_retry_event_ = 0;
-      }
+      fin_retry_timer_.Cancel();
     }
   }
 
@@ -526,27 +517,14 @@ void TcpSocket::MaybeAutotuneSndbuf() {
 }
 
 void TcpSocket::ArmRto() {
-  CancelRto();
   TimeDelta effective = rto_;
   for (int i = 0; i < rto_backoff_ && effective < kMaxRto; ++i) {
     effective = std::min(effective * 2.0, kMaxRto);
   }
-  auto alive = alive_;
-  rto_event_ = loop_->ScheduleAfter(effective, [this, alive] {
-    if (!*alive) {
-      return;
-    }
-    rto_event_ = 0;
-    OnRtoFire();
-  });
+  rto_timer_.RestartAfter(effective);
 }
 
-void TcpSocket::CancelRto() {
-  if (rto_event_ != 0) {
-    loop_->Cancel(rto_event_);
-    rto_event_ = 0;
-  }
-}
+void TcpSocket::CancelRto() { rto_timer_.Cancel(); }
 
 void TcpSocket::OnRtoFire() {
   if (snd_una_ >= snd_nxt_) {
@@ -578,12 +556,7 @@ void TcpSocket::NotifyWritableIfNeeded() {
   }
   writable_blocked_ = false;
   if (writable_cb_) {
-    auto alive = alive_;
-    loop_->ScheduleAfter(TimeDelta::Zero(), [this, alive] {
-      if (*alive && writable_cb_) {
-        writable_cb_();
-      }
-    });
+    writable_notify_timer_.RestartAfter(TimeDelta::Zero());
   }
 }
 
@@ -676,10 +649,7 @@ void TcpSocket::OnDataSegment(const Packet& pkt, const TcpSegmentPayload& seg) {
 
 void TcpSocket::SendAck() {
   segs_since_ack_ = 0;
-  if (delayed_ack_event_ != 0) {
-    loop_->Cancel(delayed_ack_event_);
-    delayed_ack_event_ = 0;
-  }
+  delayed_ack_timer_.Cancel();
   TcpSegmentPayload ack;
   ack.ack = true;
   ack.ack_seq = rcv_nxt_;
@@ -713,36 +683,19 @@ void TcpSocket::SendAck() {
 }
 
 void TcpSocket::ScheduleDelayedAck() {
-  if (delayed_ack_event_ != 0) {
+  if (delayed_ack_timer_.pending()) {
     return;
   }
-  auto alive = alive_;
-  delayed_ack_event_ = loop_->ScheduleAfter(config_.delayed_ack_timeout, [this, alive] {
-    if (!*alive) {
-      return;
-    }
-    delayed_ack_event_ = 0;
-    SendAck();
-  });
+  delayed_ack_timer_.RestartAfter(config_.delayed_ack_timeout);
 }
 
 void TcpSocket::ScheduleReadableWakeup() {
-  if (readable_wakeup_pending_ || !readable_cb_) {
+  if (readable_wakeup_timer_.pending() || !readable_cb_) {
     return;
   }
-  readable_wakeup_pending_ = true;
   TimeDelta latency =
       TimeDelta::FromSeconds(rng_.Exponential(config_.app_wakeup_latency_mean.ToSeconds()));
-  auto alive = alive_;
-  loop_->ScheduleAfter(latency, [this, alive] {
-    if (!*alive) {
-      return;
-    }
-    readable_wakeup_pending_ = false;
-    if (ReadableBytes() > 0 && readable_cb_) {
-      readable_cb_();
-    }
-  });
+  readable_wakeup_timer_.RestartAfter(latency);
 }
 
 // ---------------------------------------------------------------------------
@@ -762,7 +715,7 @@ void TcpSocket::EmitSegment(TcpSegmentPayload seg, uint32_t payload_bytes,
                      static_cast<uint32_t>(seg.sacks.empty() ? 0 : 4 + 8 * seg.sacks.size());
   }
   pkt.ecn_capable = config_.ecn && payload_bytes > 0;
-  pkt.payload = std::make_shared<TcpSegmentPayload>(std::move(seg));
+  pkt.payload = MakePooledPayload<TcpSegmentPayload>(loop_->payload_arena(), std::move(seg));
   ++segs_out_;
   ++info_version_;
   tx_->Deliver(std::move(pkt));
@@ -790,10 +743,7 @@ void TcpSocket::Deliver(Packet pkt) {
       return;
     case State::kSynSent:
       if (seg.syn && seg.ack) {
-        if (syn_retry_event_ != 0) {
-          loop_->Cancel(syn_retry_event_);
-          syn_retry_event_ = 0;
-        }
+        syn_retry_timer_.Cancel();
         peer_rwnd_ = seg.receive_window;
         BecomeEstablished();
         SendAck();

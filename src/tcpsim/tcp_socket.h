@@ -83,7 +83,9 @@ class TcpSocket : public PacketSink {
   void Listen();   // passive open (server)
   State state() const { return state_; }
   bool established() const { return state_ == State::kEstablished; }
-  void SetEstablishedCallback(std::function<void()> cb) { established_cb_ = std::move(cb); }
+  void SetEstablishedCallback(std::function<void()> cb) {  // lint_sim: allow(std-function)
+    established_cb_ = std::move(cb);
+  }
   SimTime established_time() const { return established_time_; }
 
   // ---- Teardown ----
@@ -95,7 +97,9 @@ class TcpSocket : public PacketSink {
   bool fin_acked() const { return fin_acked_; }
   // True once the peer's FIN arrived and all prior data was delivered.
   bool peer_closed() const { return peer_fin_received_; }
-  void SetEofCallback(std::function<void()> cb) { eof_cb_ = std::move(cb); }
+  void SetEofCallback(std::function<void()> cb) {  // lint_sim: allow(std-function)
+    eof_cb_ = std::move(cb);
+  }
 
   // ---- Application I/O (non-blocking) ----
   // Accepts up to `n` bytes into the send buffer; returns bytes accepted.
@@ -113,8 +117,12 @@ class TcpSocket : public PacketSink {
 
   // Invoked (once per transition) when send-buffer space frees after a short
   // write, and when new data becomes readable.
-  void SetWritableCallback(std::function<void()> cb) { writable_cb_ = std::move(cb); }
-  void SetReadableCallback(std::function<void()> cb) { readable_cb_ = std::move(cb); }
+  void SetWritableCallback(std::function<void()> cb) {  // lint_sim: allow(std-function)
+    writable_cb_ = std::move(cb);
+  }
+  void SetReadableCallback(std::function<void()> cb) {  // lint_sim: allow(std-function)
+    readable_cb_ = std::move(cb);
+  }
 
   // ---- Socket options ----
   TcpInfoData GetTcpInfo() const;  // getsockopt(TCP_INFO)
@@ -163,6 +171,9 @@ class TcpSocket : public PacketSink {
     bool app_limited = false;
   };
 
+  // -- connection lifecycle --
+  void OnSynRetry();
+
   // -- sender half --
   void TrySendData();
   void SendDataSegment(uint64_t seq, uint32_t len, bool retransmit);
@@ -205,12 +216,11 @@ class TcpSocket : public PacketSink {
   uint64_t flow_id_;
   PacketSink* tx_;
   Demux* rx_demux_;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   State state_ = State::kClosed;
   SimTime established_time_;
-  std::function<void()> established_cb_;
-  EventLoop::EventId syn_retry_event_ = 0;
+  std::function<void()> established_cb_;  // lint_sim: allow(std-function)
+  Timer syn_retry_timer_;
 
   std::unique_ptr<CongestionControl> cc_;
   StackObserver* observer_ = nullptr;
@@ -235,7 +245,10 @@ class TcpSocket : public PacketSink {
   TimeDelta rto_;
   TimeDelta min_rtt_ = TimeDelta::Infinite();
   int rto_backoff_ = 0;
-  EventLoop::EventId rto_event_ = 0;
+  // Re-armed in place on every transmission and every ACK with data still in
+  // flight (tcp_rearm_rto): with Timer::Restart this is a heap-slot update,
+  // not a cancel + reschedule churn.
+  Timer rto_timer_;
 
   // Idle detection for RFC 2861 cwnd validation.
   SimTime last_send_activity_;
@@ -243,7 +256,7 @@ class TcpSocket : public PacketSink {
 
   // Pacing (used when the CC supplies a rate).
   SimTime next_send_time_;
-  bool pacing_wakeup_armed_ = false;
+  Timer pacing_timer_;
 
   // Delivery-rate sampling (tcp rate_sample analogue).
   uint64_t delivered_bytes_ = 0;
@@ -256,18 +269,19 @@ class TcpSocket : public PacketSink {
   SimTime last_ecn_reaction_;
 
   bool writable_blocked_ = false;
-  std::function<void()> writable_cb_;
+  std::function<void()> writable_cb_;  // lint_sim: allow(std-function)
+  Timer writable_notify_timer_;
 
   // ---- Teardown state ----
   bool close_requested_ = false;
   bool fin_sent_ = false;
   bool fin_acked_ = false;
   uint64_t fin_seq_ = 0;  // sequence of the FIN's phantom byte
-  EventLoop::EventId fin_retry_event_ = 0;
+  Timer fin_retry_timer_;
   bool peer_fin_received_ = false;
   bool pending_peer_fin_ = false;
   uint64_t peer_fin_seq_ = 0;
-  std::function<void()> eof_cb_;
+  std::function<void()> eof_cb_;  // lint_sim: allow(std-function)
 
   // ---- Receiver state ----
   uint64_t rcv_nxt_ = 0;   // next expected in-order byte
@@ -280,9 +294,9 @@ class TcpSocket : public PacketSink {
   SimTime rcv_rate_window_start_;
   uint64_t rcv_rate_window_bytes_ = 0;
   double rcv_rate_bytes_per_s_ = 0.0;
-  EventLoop::EventId delayed_ack_event_ = 0;
-  bool readable_wakeup_pending_ = false;
-  std::function<void()> readable_cb_;
+  Timer delayed_ack_timer_;
+  Timer readable_wakeup_timer_;
+  std::function<void()> readable_cb_;  // lint_sim: allow(std-function)
   bool echo_ece_ = false;  // CE seen; echo ECE until CWR
 
   // ---- Counters for TCP_INFO ----

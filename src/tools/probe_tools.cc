@@ -18,7 +18,7 @@ void SynResponder::Deliver(Packet pkt) {
   reply.flow_id = pkt.flow_id;
   reply.size_bytes = reply_size_;
   reply.created = pkt.created;
-  reply.payload = std::make_shared<TcpSegmentPayload>(synack);
+  reply.payload = MakePooledPayload<TcpSegmentPayload>(loop_->payload_arena(), synack);
   reply_pipe_->Deliver(std::move(reply));
 }
 
@@ -28,7 +28,7 @@ SynProbeTool::SynProbeTool(EventLoop* loop, DuplexPath* path, Profile profile)
       profile_(std::move(profile)),
       flow_id_(path->AllocateFlowId()),
       timer_(loop, profile_.interval, [this] { SendProbe(); }) {
-  responder_ = std::make_unique<SynResponder>(&path_->reverse());
+  responder_ = std::make_unique<SynResponder>(loop, &path_->reverse());
   path_->server_demux().Register(flow_id_, responder_.get());
   path_->client_demux().Register(flow_id_, this);
 }
@@ -52,7 +52,7 @@ void SynProbeTool::SendProbe() {
   pkt.flow_id = flow_id_;
   pkt.size_bytes = profile_.probe_size_bytes;
   pkt.created = loop_->now();
-  pkt.payload = std::make_shared<TcpSegmentPayload>(syn);
+  pkt.payload = MakePooledPayload<TcpSegmentPayload>(loop_->payload_arena(), syn);
   probe_sent_ = loop_->now();
   awaiting_reply_ = true;
   path_->forward().Deliver(std::move(pkt));
@@ -74,7 +74,8 @@ EchoPing::EchoPing(EventLoop* loop, TcpSocket* client, TcpSocket* server,
       document_bytes_(document_bytes),
       request_bytes_(request_bytes),
       pause_(pause_between),
-      expected_read_(0) {}
+      expected_read_(0),
+      pause_timer_(loop, [this] { SendRequest(); }) {}
 
 void EchoPing::Start() {
   server_->SetReadableCallback([this] { OnServerReadable(); });
@@ -123,7 +124,7 @@ void EchoPing::OnClientReadable() {
     in_flight_ = false;
     times_.Add((loop_->now() - request_time_).ToSeconds());
     ++completed_;
-    loop_->ScheduleAfter(pause_, [this] { SendRequest(); });
+    pause_timer_.RestartAfter(pause_);
   }
 }
 

@@ -21,12 +21,13 @@ namespace element {
 // moral equivalent of the peer's listening TCP port).
 class SynResponder : public PacketSink {
  public:
-  SynResponder(PacketSink* reply_pipe, uint32_t reply_size_bytes = 60)
-      : reply_pipe_(reply_pipe), reply_size_(reply_size_bytes) {}
+  SynResponder(EventLoop* loop, PacketSink* reply_pipe, uint32_t reply_size_bytes = 60)
+      : loop_(loop), reply_pipe_(reply_pipe), reply_size_(reply_size_bytes) {}
 
   void Deliver(Packet pkt) override;
 
  private:
+  EventLoop* loop_;
   PacketSink* reply_pipe_;
   uint32_t reply_size_;
 };
@@ -103,6 +104,7 @@ class EchoPing {
   size_t response_left_ = 0;
   uint64_t completed_ = 0;
   bool in_flight_ = false;
+  Timer pause_timer_;
   SampleSet times_;
 };
 

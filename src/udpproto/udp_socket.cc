@@ -17,7 +17,7 @@ void UdpSocket::SendDatagram(const UdpDatagramPayload& payload) {
   pkt.flow_id = flow_id_;
   pkt.size_bytes = kIpUdpHeaderBytes + payload.payload_bytes;
   pkt.created = loop_->now();
-  auto owned = std::make_shared<UdpDatagramPayload>(payload);
+  auto owned = MakePooledPayload<UdpDatagramPayload>(loop_->payload_arena(), payload);
   owned->sent = loop_->now();
   pkt.payload = std::move(owned);
   ++sent_;

@@ -9,7 +9,9 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/evloop/event_loop.h"
 #include "src/tcpsim/testbed.h"
 #include "src/trace/ground_truth.h"
 
@@ -72,6 +74,76 @@ std::string RunScenarioTrace(uint64_t seed) {
   return os.str();
 }
 
+// Cancel-heavy variant: exercises the event core's O(log n) in-place
+// cancellation and Timer re-arms under churn. The lossy wifi path keeps the
+// TCP RTO / delayed-ACK / pacing timers restarting, while an app-level storm
+// schedules and cancels batches of far-future events and re-arms a one-shot
+// Timer every millisecond. Heap removals from arbitrary positions must not
+// perturb the (time, seq) fire order: two runs with the same seed must be
+// byte-identical.
+std::string RunCancelHeavyTrace(uint64_t seed) {
+  PathConfig path = WifiProfile();
+  path.instrument_bottleneck = true;
+  Testbed bed(seed, path);
+  bed.bottleneck_probe()->set_keep_series(true);
+
+  GroundTruthTracer ground_truth;
+  Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
+  flow.sender->set_observer(&ground_truth);
+  flow.receiver->set_observer(&ground_truth);
+
+  constexpr uint64_t kTotalBytes = 2 * 1000 * 1000;
+  auto pump = [&] {
+    while (flow.sender->app_bytes_written() < kTotalBytes) {
+      size_t want = static_cast<size_t>(kTotalBytes - flow.sender->app_bytes_written());
+      if (flow.sender->Write(want) == 0) {
+        break;
+      }
+    }
+  };
+  flow.sender->SetEstablishedCallback(pump);
+  flow.sender->SetWritableCallback(pump);
+  flow.receiver->SetReadableCallback([&] { flow.receiver->Read(1 << 20); });
+
+  EventLoop& loop = bed.loop();
+  uint64_t storm_fires = 0;
+  std::vector<EventHandle> parked;
+  Timer rearm(&loop, [&storm_fires] { ++storm_fires; });
+  PeriodicTimer storm(&loop, TimeDelta::FromMillis(1), [&] {
+    // Schedule a batch of far-future events, then cancel most of them so the
+    // heap sees removals from arbitrary interior positions every tick.
+    for (int i = 0; i < 8; ++i) {
+      parked.push_back(loop.ScheduleAfter(TimeDelta::FromSecondsInt(3600), [] {}));
+    }
+    for (int i = 0; i < 7; ++i) {
+      loop.Cancel(parked.back());
+      parked.pop_back();
+    }
+    // And keep one Timer perpetually re-armed past its old deadline.
+    rearm.RestartAfter(TimeDelta::FromMicros(1500));
+  });
+  storm.Start();
+
+  loop.RunUntil(Sec(15.0));
+  storm.Stop();
+  rearm.Cancel();
+  for (EventHandle h : parked) {
+    loop.Cancel(h);
+  }
+
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "processed_events=" << loop.processed_events() << '\n';
+  os << "storm_fires=" << storm_fires << '\n';
+  os << "pending_after_drain=" << loop.pending_events() << '\n';
+  os << "bytes_read=" << flow.receiver->app_bytes_read() << '\n';
+  os << "retransmits=" << flow.sender->total_retransmits() << '\n';
+  SerializeSeries(os, "bottleneck_sojourn", bed.bottleneck_probe()->sojourn_series());
+  SerializeSeries(os, "sender_delay", ground_truth.sender_delay_series());
+  SerializeSeries(os, "receiver_delay", ground_truth.receiver_delay_series());
+  return os.str();
+}
+
 TEST(DeterminismTest, SameSeedProducesByteIdenticalTrace) {
   std::string first = RunScenarioTrace(42);
   std::string second = RunScenarioTrace(42);
@@ -85,6 +157,17 @@ TEST(DeterminismTest, TraceIsNonTrivialAndSeedSensitive) {
   // The scenario must actually exercise the stochastic path: different seeds
   // must diverge, otherwise the run-twice comparison proves nothing.
   EXPECT_NE(a, b);
+}
+
+TEST(DeterminismTest, CancelHeavyScenarioIsByteIdenticalAcrossRuns) {
+  std::string first = RunCancelHeavyTrace(1234);
+  std::string second = RunCancelHeavyTrace(1234);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, CancelHeavyScenarioIsSeedSensitive) {
+  EXPECT_NE(RunCancelHeavyTrace(1234), RunCancelHeavyTrace(1235));
 }
 
 }  // namespace

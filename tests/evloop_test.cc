@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/evloop/event_loop.h"
@@ -44,19 +46,53 @@ TEST(EventLoopTest, CancelPreventsExecution) {
   EventLoop loop;
   bool ran = false;
   auto id = loop.ScheduleAfter(TimeDelta::FromMillis(1), [&] { ran = true; });
-  loop.Cancel(id);
+  EXPECT_TRUE(loop.Cancel(id));
   loop.Run();
   EXPECT_FALSE(ran);
   EXPECT_EQ(loop.processed_events(), 0u);
+  EXPECT_EQ(loop.pending_events(), 0u);
 }
 
-TEST(EventLoopTest, CancelUnknownIdIsNoop) {
+TEST(EventLoopTest, CancelInvalidHandleIsNoop) {
   EventLoop loop;
-  loop.Cancel(12345);  // must not crash
+  EXPECT_FALSE(loop.Cancel(EventHandle{}));                  // default handle
+  EXPECT_FALSE(loop.Cancel(EventHandle{12345u, 7u}));        // out-of-range slot
   bool ran = false;
   loop.ScheduleAfter(TimeDelta::Zero(), [&] { ran = true; });
   loop.Run();
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, CancelAfterFireIsStaleNoop) {
+  EventLoop loop;
+  int ran = 0;
+  auto id = loop.ScheduleAfter(TimeDelta::FromMillis(1), [&] { ++ran; });
+  loop.Run();
+  EXPECT_EQ(ran, 1);
+  // The event fired; its slot was released and the generation bumped.
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, StaleHandleDoesNotCancelSlotReuser) {
+  EventLoop loop;
+  auto first = loop.ScheduleAfter(TimeDelta::FromMillis(1), [] {});
+  EXPECT_TRUE(loop.Cancel(first));
+  // The freed slot is reused by the next schedule, with a new generation.
+  bool ran = false;
+  auto second = loop.ScheduleAfter(TimeDelta::FromMillis(1), [&] { ran = true; });
+  EXPECT_EQ(second.slot, first.slot);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_FALSE(loop.Cancel(first));  // stale: must not kill the new event
+  loop.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, DoubleCancelReturnsFalse) {
+  EventLoop loop;
+  auto id = loop.ScheduleAfter(TimeDelta::FromMillis(1), [] {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+  loop.Run();
 }
 
 TEST(EventLoopTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
@@ -163,12 +199,207 @@ TEST(PeriodicTimerTest, CallbackMayChangePeriod) {
   });
   timer.Start();
   loop.RunUntil(SimTime::FromNanos(60'000'000));
-  // First at 10ms; then re-armed with the *old* period before the callback,
-  // so second at 20ms, subsequent every 20ms.
+  // First at 10ms; set_period(20ms) re-arms the in-flight fire to
+  // last-fire + 20ms, so subsequent fires land at 30ms, 50ms, ...
   ASSERT_GE(times.size(), 3u);
   EXPECT_EQ(times[0], 10'000'000);
+  EXPECT_EQ(times[1], 30'000'000);
+  EXPECT_EQ(times[2], 50'000'000);
+}
+
+TEST(PeriodicTimerTest, SetPeriodReArmsInFlightFire) {
+  // Regression: set_period() used to leave the already-pending fire at the
+  // old deadline, so shortening the period only took effect one stale period
+  // later. It must re-anchor the pending fire at base + new period.
+  EventLoop loop;
+  std::vector<int64_t> times;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(100),
+                      [&] { times.push_back(loop.now().nanos()); });
+  timer.Start();
+  loop.ScheduleAt(SimTime::FromNanos(5'000'000),
+                  [&] { timer.set_period(TimeDelta::FromMillis(10)); });
+  loop.RunUntil(SimTime::FromNanos(25'000'000));
+  // Re-anchored to Start (0ms) + 10ms, then every 10ms — not 100ms.
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10'000'000);
   EXPECT_EQ(times[1], 20'000'000);
-  EXPECT_EQ(times[2], 40'000'000);
+}
+
+TEST(PeriodicTimerTest, SetPeriodPastDeadlineClampsToNow) {
+  // Shrinking the period so far that base + period is already in the past
+  // must fire promptly (clamped to now), not in the past or never.
+  EventLoop loop;
+  std::vector<int64_t> times;
+  PeriodicTimer timer(&loop, TimeDelta::FromMillis(100),
+                      [&] { times.push_back(loop.now().nanos()); });
+  timer.Start();
+  loop.ScheduleAt(SimTime::FromNanos(50'000'000),
+                  [&] { timer.set_period(TimeDelta::FromMillis(1)); });
+  loop.RunUntil(SimTime::FromNanos(52'500'000));
+  ASSERT_GE(times.size(), 2u);
+  EXPECT_EQ(times[0], 50'000'000);  // clamped re-arm fires immediately
+  EXPECT_EQ(times[1], 51'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Timer (one-shot, re-armable)
+// ---------------------------------------------------------------------------
+
+TEST(TimerTest, FiresOnceAtDeadline) {
+  EventLoop loop;
+  std::vector<int64_t> times;
+  Timer t(&loop, [&] { times.push_back(loop.now().nanos()); });
+  EXPECT_FALSE(t.pending());
+  t.Restart(SimTime::FromNanos(500));
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.deadline().nanos(), 500);
+  loop.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 500);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(TimerTest, RestartMovesDeadlineBothDirections) {
+  EventLoop loop;
+  std::vector<int64_t> times;
+  Timer t(&loop, [&] { times.push_back(loop.now().nanos()); });
+  t.Restart(SimTime::FromNanos(1000));
+  t.Restart(SimTime::FromNanos(200));  // earlier
+  EXPECT_EQ(t.deadline().nanos(), 200);
+  loop.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 200);
+
+  times.clear();
+  t.Restart(loop.now() + TimeDelta::FromNanos(100));
+  t.Restart(loop.now() + TimeDelta::FromNanos(900));  // later
+  loop.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 200 + 900);
+}
+
+TEST(TimerTest, CancelPreventsFire) {
+  EventLoop loop;
+  bool ran = false;
+  Timer t(&loop, [&] { ran = true; });
+  t.RestartAfter(TimeDelta::FromMillis(1));
+  EXPECT_TRUE(t.Cancel());
+  EXPECT_FALSE(t.pending());
+  EXPECT_FALSE(t.Cancel());  // already idle
+  loop.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimerTest, RestartFromOwnCallbackReusesSlot) {
+  EventLoop loop;
+  int fires = 0;
+  Timer t(&loop, [&] {
+    if (++fires < 5) {
+      t.RestartAfter(TimeDelta::FromMillis(1));
+    }
+  });
+  t.RestartAfter(TimeDelta::FromMillis(1));
+  size_t slots_before = loop.slab_slots();
+  loop.Run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(loop.slab_slots(), slots_before);  // re-arm never allocates
+}
+
+TEST(TimerTest, DestructorCancelsPendingFire) {
+  EventLoop loop;
+  bool ran = false;
+  {
+    Timer t(&loop, [&] { ran = true; });
+    t.RestartAfter(TimeDelta::FromMillis(1));
+  }
+  loop.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(TimerTest, RestartPastDeadlineClampsToNow) {
+  EventLoop loop;
+  SimTime fired;
+  Timer t(&loop, [&] { fired = loop.now(); });
+  loop.ScheduleAfter(TimeDelta::FromMillis(10), [&] {
+    t.Restart(SimTime::Zero());  // in the past: clamps to now
+  });
+  loop.Run();
+  EXPECT_EQ(fired.nanos(), 10'000'000);
+}
+
+TEST(TimerTest, EqualTimeOrderFollowsArmOrder) {
+  // A Timer::Restart draws a fresh sequence number exactly like a schedule,
+  // so equal-deadline events fire in arm order regardless of mechanism.
+  EventLoop loop;
+  std::vector<int> order;
+  Timer t(&loop, [&] { order.push_back(1); });
+  loop.ScheduleAt(SimTime::FromNanos(100), [&] { order.push_back(0); });
+  t.Restart(SimTime::FromNanos(100));
+  loop.ScheduleAt(SimTime::FromNanos(100), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded growth under cancellation churn (no tombstones)
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopTest, MillionCancelledTimersStayBounded) {
+  // True O(log n) cancellation releases the heap slot and slab record
+  // immediately. A tombstone design would grow the heap to a million entries
+  // here; the index-addressable heap must stay at a handful.
+  EventLoop loop;
+  // Keep one far-future event alive so the loop has steady-state occupancy.
+  Timer keeper(&loop, [] {});
+  keeper.Restart(SimTime::Zero() + TimeDelta::FromSecondsInt(1'000'000));
+  for (int i = 0; i < 1'000'000; ++i) {
+    auto h = loop.ScheduleAfter(TimeDelta::FromSecondsInt(3600), [] {});
+    ASSERT_TRUE(loop.Cancel(h));
+  }
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_LE(loop.heap_capacity(), 64u);
+  EXPECT_LE(loop.slab_slots(), 256u);  // a single slab chunk suffices
+  loop.AuditHeapInvariant();
+  keeper.Cancel();
+}
+
+// ---------------------------------------------------------------------------
+// InlineCallback storage
+// ---------------------------------------------------------------------------
+
+TEST(InlineCallbackTest, SmallCapturesStayInline) {
+  int a = 0;
+  InlineCallback small([&a] { ++a; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(a, 1);
+
+  struct Big {
+    char pad[96];
+  } big{};
+  int b = 0;
+  InlineCallback large([big, &b] {
+    (void)big;
+    ++b;
+  });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(b, 1);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int count = 0;
+  InlineCallback cb([&count] { ++count; });
+  InlineCallback moved(std::move(cb));
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(count, 1);
+  InlineCallback assigned;
+  assigned = std::move(moved);
+  assigned();
+  EXPECT_EQ(count, 2);
 }
 
 }  // namespace

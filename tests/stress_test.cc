@@ -214,7 +214,7 @@ TEST(EventLoopStressTest, HundredThousandEventsWithChurn) {
   EventLoop loop;
   Rng rng(77);
   int64_t executed = 0;
-  std::vector<EventLoop::EventId> cancellable;
+  std::vector<EventHandle> cancellable;
   for (int i = 0; i < 100000; ++i) {
     auto id = loop.ScheduleAfter(TimeDelta::FromMicros(rng.UniformInt(0, 1'000'000)),
                                  [&executed] { ++executed; });

@@ -15,11 +15,16 @@ reproducible; this lint does:
       int64/double so results do not depend on x87/SSE rounding width
   R6  no thread spawning (std::thread/std::jthread/std::async/pthread_create)
       in simulator code — every simulation is single-threaded by design
+  R7  no std::function in src/tcpsim/ or src/netsim/ hot-path classes — those
+      layers schedule via Timer/InlineCallback (slab-resident, no per-event
+      heap allocation). Existing app-facing observer registration interfaces
+      are waived line-by-line with allow(std-function); new members need a
+      design reason to join them.
 
-Scope: src/ is linted with every rule. tests/, bench/, and examples/ are
-linted with R2/R3/R4 only (benchmark harnesses legitimately read wall
-clocks; floats never carry sim state in src/ but may appear in
-plotting-oriented code).
+Scope: src/ is linted with every rule (R7 only in src/tcpsim/ and
+src/netsim/). tests/, bench/, and examples/ are linted with R2/R3/R4 only
+(benchmark harnesses legitimately read wall clocks; floats never carry sim
+state in src/ but may appear in plotting-oriented code).
 
 src/runner/ policy: the fleet executor (src/runner/fleet.cc) is the one
 sanctioned parallel driver, so it is exempt from R6 — but wall-clock reads
@@ -76,6 +81,12 @@ RULES = {
         "float in simulator arithmetic; use double or int64_t "
         "(time/byte bookkeeping must not lose precision)",
     ),
+    "std-function": (
+        re.compile(r"\bstd::function\b"),
+        "std::function in a tcpsim/netsim hot-path class; per-event callbacks "
+        "belong in Timer/InlineCallback storage (app-facing observer "
+        "registration may be waived with lint_sim: allow(std-function))",
+    ),
     # (?!::) keeps std::thread::hardware_concurrency() (a query, not a spawn)
     # out of scope.
     "thread": (
@@ -118,6 +129,8 @@ def lint_line(line: str, rules: dict) -> list[tuple[str, str]]:
 def rules_for(rel: str) -> dict:
     if rel.startswith("src/"):
         selected = dict(RULES)
+        if not rel.startswith(("src/tcpsim/", "src/netsim/")):
+            selected.pop("std-function")
     else:
         selected = {k: RULES[k] for k in ("rng-engine", "random-device", "libc-rand")}
     for rule in EXEMPT.get(rel, ()):  # per-file exemptions
