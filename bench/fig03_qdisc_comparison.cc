@@ -22,7 +22,7 @@ using namespace element;
 
 namespace {
 
-struct Network {
+struct NetworkCase {
   const char* name;
   ScenarioSpec spec;  // path fields only; qdisc filled per cell
 };
@@ -37,16 +37,16 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 3: delay composition per qdisc and network (ms) ===\n");
   std::printf("Setup: 3 TCP Cubic flows per cell, 60 s\n\n");
 
-  std::vector<Network> networks;
+  std::vector<NetworkCase> networks;
   {
-    Network n{"Wired (Low BW)", ScenarioSpec{}};
+    NetworkCase n{"Wired (Low BW)", ScenarioSpec{}};
     n.spec.rate_mbps = 10;
     n.spec.rtt_ms = 50;
     n.spec.queue_packets = 100;
     networks.push_back(n);
   }
   {
-    Network n{"Wired (Low BW) +ECN", ScenarioSpec{}};
+    NetworkCase n{"Wired (Low BW) +ECN", ScenarioSpec{}};
     n.spec.rate_mbps = 10;
     n.spec.rtt_ms = 50;
     n.spec.queue_packets = 100;
@@ -54,19 +54,19 @@ int main(int argc, char** argv) {
     networks.push_back(n);
   }
   {
-    Network n{"Wired (High BW)", ScenarioSpec{}};
+    NetworkCase n{"Wired (High BW)", ScenarioSpec{}};
     n.spec.rate_mbps = 1000;
     n.spec.rtt_ms = 0.4;  // 200 us one-way
     n.spec.queue_packets = 1000;
     networks.push_back(n);
   }
   {
-    Network n{"WiFi", ScenarioSpec{}};
+    NetworkCase n{"WiFi", ScenarioSpec{}};
     n.spec.profile = "wifi";
     networks.push_back(n);
   }
   {
-    Network n{"LTE", ScenarioSpec{}};
+    NetworkCase n{"LTE", ScenarioSpec{}};
     n.spec.profile = "lte";
     networks.push_back(n);
   }
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                                QdiscType::kPie};
 
   std::vector<ScenarioSpec> specs;
-  for (const Network& network : networks) {
+  for (const NetworkCase& network : networks) {
     for (QdiscType q : kQdiscs) {
       ScenarioSpec spec = network.spec;
       spec.name = network.name;
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
       {"network", "qdisc", "sender(ms)", "network(ms)", "receiver(ms)", "total(ms)"});
   bool shape_ok = true;
   size_t cell = 0;
-  for (const Network& network : networks) {
+  for (const NetworkCase& network : networks) {
     double pfifo_net = 0.0;
     double aqm_best_net = 1e18;
     double min_sender = 1e18;

@@ -1,0 +1,117 @@
+// Contention figure: decomposition accuracy and per-component delay as the
+// number of competing flows at a shared dumbbell bottleneck grows, per qdisc.
+//
+// Each cell runs N Cubic flows (flow 0 ELEMENT-instrumented) through one
+// 20 Mbps bottleneck. Expected shape: network queueing delay grows with the
+// competing-flow count (steeply for pfifo_fast, held down by the AQMs);
+// ELEMENT's sender-side decomposition stays accurate under contention; and
+// FQ-CoDel keeps Jain's index pinned near 1.
+//
+// The cells run through the fleet runner; rows are printed in cell order and
+// are identical for any --jobs value.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/runner/fleet.h"
+
+using namespace element;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Parse(argc, argv);
+  int jobs = static_cast<int>(flags.GetInt("jobs", DefaultJobs()));
+
+  std::printf("=== Contention: decomposition vs competing flows (dumbbell) ===\n");
+  std::printf("Setup: N Cubic flows, 20 Mbps / 40 ms RTT bottleneck, 20 s, flow 0 through\n"
+              "ELEMENT; per-hop delays are means over all flows after 3 s warmup\n\n");
+
+  const char* kQdiscs[] = {"pfifo_fast", "codel", "fq_codel", "pie"};
+  const int kFlowCounts[] = {1, 2, 4, 8, 16};
+
+  std::vector<ScenarioSpec> specs;
+  for (const char* qdisc : kQdiscs) {
+    for (int flows : kFlowCounts) {
+      ScenarioSpec spec;
+      spec.name = std::string(qdisc) + "/" + std::to_string(flows) + "f";
+      spec.topology = "dumbbell";
+      spec.qdisc = qdisc;
+      spec.cc = "cubic";
+      spec.num_flows = flows;
+      spec.rate_mbps = 20.0;
+      spec.rtt_ms = 40.0;
+      spec.element_mode = "first";
+      spec.duration_s = 20.0;
+      spec.warmup_s = 3.0;
+      spec.seed = 7;
+      specs.push_back(spec);
+    }
+  }
+
+  FleetOptions options;
+  options.jobs = jobs;
+  FleetSummary fleet = RunFleet(specs, options);
+
+  TablePrinter table({"qdisc", "flows", "snd (ms)", "net (ms)", "rcv (ms)", "goodput (Mb/s)",
+                      "jain", "acc snd", "acc rcv"});
+  bool shape_ok = true;
+  size_t cell = 0;
+  for (const char* qdisc : kQdiscs) {
+    double net_delay_1f = 0.0;
+    double net_delay_max = 0.0;
+    for (int flows : kFlowCounts) {
+      const ScenarioResult& result = fleet.results[cell++];
+      if (!result.ok) {
+        std::fprintf(stderr, "cell %s failed: %s\n", result.spec.Id().c_str(),
+                     result.error.c_str());
+        return 1;
+      }
+      MeanDelays delays = AverageDelays(result.flows);
+      if (flows == 1) {
+        net_delay_1f = delays.network_s;
+      }
+      if (delays.network_s > net_delay_max) {
+        net_delay_max = delays.network_s;
+      }
+      char snd[32], net[32], rcv[32], gp[32], jain[32], acc_s[32], acc_r[32];
+      std::snprintf(snd, sizeof(snd), "%.1f", delays.sender_s * 1e3);
+      std::snprintf(net, sizeof(net), "%.1f", delays.network_s * 1e3);
+      std::snprintf(rcv, sizeof(rcv), "%.1f", delays.receiver_s * 1e3);
+      std::snprintf(gp, sizeof(gp), "%.2f", result.goodput_mbps.mean() *
+                                                static_cast<double>(result.flows.size()));
+      std::snprintf(jain, sizeof(jain), "%.3f", result.jain_fairness);
+      std::snprintf(acc_s, sizeof(acc_s), "%.3f", result.accuracy.sender.accuracy);
+      std::snprintf(acc_r, sizeof(acc_r), "%.3f", result.accuracy.receiver.accuracy);
+      table.AddRow({qdisc, std::to_string(flows), snd, net, rcv, gp, jain, acc_s, acc_r});
+
+      // Decomposition stays usable under contention. Receiver-side accuracy
+      // is only meaningful while flow 0 still sees measurable receiver delay;
+      // at 16-way contention its true delay approaches zero and the relative
+      // error metric loses meaning, so the floor applies through 8 flows.
+      if (result.accuracy.sender.accuracy < 0.85) {
+        shape_ok = false;
+      }
+      if (flows <= 8 && result.accuracy.receiver.accuracy < 0.5) {
+        shape_ok = false;
+      }
+      if (result.unroutable_packets != 0) {
+        shape_ok = false;
+      }
+    }
+    // Queueing delay responds to contention: the most-contended cell queues
+    // more than the uncontended one.
+    if (net_delay_max <= net_delay_1f) {
+      shape_ok = false;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Paper shape check: network delay grows with competing flows; ELEMENT's\n"
+              "sender decomposition stays >= 0.85 accurate under contention (receiver-side\n"
+              "floor applies through 8 flows; see comment in the source).\n");
+  std::printf("SHAPE %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

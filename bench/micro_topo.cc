@@ -1,0 +1,177 @@
+// Topology-layer microbenchmark: the numbers behind BENCH_topo.json and the
+// topo-smoke CI floor.
+//
+// Two workloads, each reported as a rate:
+//   route_lookup   — raw Router forwarding: 1k installed flows across 4
+//                    egress ports, 2M packets delivered to a null sink (the
+//                    per-packet table cost: bounds check + load + virtual
+//                    dispatch).
+//   dumbbell_1k    — a full contention run: 1024 concurrent Cubic flows
+//                    through one FQ-CoDel dumbbell bottleneck for 2 simulated
+//                    seconds; reports events/sec and sim-seconds per
+//                    wall-second, demonstrating >= 1k-flow scale.
+//
+// Usage:
+//   micro_topo                      print a JSON metrics object
+//   micro_topo --floor <file.json>  also enforce min_topo_* floors from the
+//                                   file (exit 1 on regression below a floor)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/runner/json.h"
+#include "src/topo/contention.h"
+#include "src/topo/router.h"
+
+namespace element {
+namespace {
+
+double NowSeconds() {
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+template <typename Body>
+double Timed(Body&& body) {
+  double start = NowSeconds();
+  body();
+  return NowSeconds() - start;
+}
+
+constexpr int kRouteFlows = 1024;
+constexpr int kRoutePackets = 2'000'000;
+constexpr int kDumbbellFlows = 1024;
+constexpr double kDumbbellSimSeconds = 2.0;
+
+class NullSink : public PacketSink {
+ public:
+  void Deliver(Packet pkt) override { bytes += pkt.size_bytes; }
+  uint64_t bytes = 0;
+};
+
+double BenchRouteLookup() {
+  Router router("bench");
+  NullSink sinks[4];
+  int ports[4];
+  for (int i = 0; i < 4; ++i) {
+    ports[i] = router.AddPort(&sinks[i]);
+  }
+  for (int f = 0; f < kRouteFlows; ++f) {
+    router.AddRoute(static_cast<uint64_t>(f), ports[f % 4]);
+  }
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  double secs = Timed([&] {
+    for (int i = 0; i < kRoutePackets; ++i) {
+      pkt.flow_id = static_cast<uint64_t>(i % kRouteFlows);
+      router.Deliver(pkt);
+    }
+  });
+  if (router.stats().forwarded_packets != static_cast<uint64_t>(kRoutePackets)) {
+    std::fprintf(stderr, "route_lookup dropped packets\n");
+    std::exit(1);
+  }
+  return kRoutePackets / secs;
+}
+
+struct DumbbellResult {
+  double events_per_sec = 0.0;
+  double sim_seconds_per_sec = 0.0;
+  uint64_t forwarded_packets = 0;
+  uint64_t processed_events = 0;
+};
+
+DumbbellResult BenchDumbbell1k() {
+  ContentionConfig cfg;
+  cfg.topo.shape = TopologyShape::kDumbbell;
+  cfg.topo.host_pairs = 32;  // 32 flows per pair
+  cfg.topo.qdisc = QdiscType::kFqCoDel;
+  cfg.topo.queue_limit_packets = 500;
+  cfg.topo.bottleneck_rate = DataRate::Mbps(200);
+  cfg.flows = kDumbbellFlows;
+  cfg.duration_s = kDumbbellSimSeconds;
+  cfg.warmup_s = 0.5;
+  cfg.seed = 7;
+
+  ContentionResult result;
+  double secs = Timed([&] { result = RunContentionExperiment(cfg); });
+  if (result.unroutable_packets != 0) {
+    std::fprintf(stderr, "dumbbell_1k misrouted packets\n");
+    std::exit(1);
+  }
+  DumbbellResult r;
+  r.events_per_sec = static_cast<double>(result.processed_events) / secs;
+  r.sim_seconds_per_sec = kDumbbellSimSeconds / secs;
+  r.forwarded_packets = result.forwarded_packets;
+  r.processed_events = result.processed_events;
+  return r;
+}
+
+int Run(const std::string& floor_path) {
+  json::Value out = json::Value::Object();
+  double lookup = BenchRouteLookup();
+  DumbbellResult dumbbell = BenchDumbbell1k();
+  out.Set("topo_route_lookup_packets_per_sec", json::Value::Number(lookup));
+  out.Set("topo_dumbbell_1k_flows", json::Value::Int(kDumbbellFlows));
+  out.Set("topo_dumbbell_1k_events_per_sec", json::Value::Number(dumbbell.events_per_sec));
+  out.Set("topo_dumbbell_1k_sim_seconds_per_sec",
+          json::Value::Number(dumbbell.sim_seconds_per_sec));
+  out.Set("topo_dumbbell_1k_processed_events",
+          json::Value::Int(static_cast<int64_t>(dumbbell.processed_events)));
+  out.Set("topo_dumbbell_1k_forwarded_packets",
+          json::Value::Int(static_cast<int64_t>(dumbbell.forwarded_packets)));
+  std::printf("%s\n", out.Dump(2).c_str());
+
+  if (floor_path.empty()) {
+    return 0;
+  }
+  std::ifstream in(floor_path);
+  if (!in) {
+    std::fprintf(stderr, "micro_topo: cannot open floor file %s\n", floor_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  json::Value floor;
+  std::string error;
+  if (!json::Value::Parse(buf.str(), &floor, &error)) {
+    std::fprintf(stderr, "micro_topo: bad floor file: %s\n", error.c_str());
+    return 2;
+  }
+  int failures = 0;
+  auto check = [&](const char* key, double measured) {
+    const json::Value* min = floor.Find(key);
+    if (min == nullptr) {
+      return;
+    }
+    if (measured < min->AsDouble()) {
+      std::fprintf(stderr, "micro_topo: %s = %.3g below floor %.3g\n", key, measured,
+                   min->AsDouble());
+      ++failures;
+    }
+  };
+  check("min_topo_route_lookup_packets_per_sec", lookup);
+  check("min_topo_dumbbell_1k_events_per_sec", dumbbell.events_per_sec);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace element
+
+int main(int argc, char** argv) {
+  std::string floor_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--floor" && i + 1 < argc) {
+      floor_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--floor floors.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  return element::Run(floor_path);
+}

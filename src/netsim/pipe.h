@@ -11,6 +11,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include <vector>
+
+#include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/evloop/event_loop.h"
 #include "src/netsim/link_model.h"
@@ -71,8 +74,17 @@ class Pipe : public PacketSink {
 // Routes delivered packets to per-flow endpoints.
 class Demux : public PacketSink {
  public:
-  void Register(uint64_t flow_id, PacketSink* sink) { sinks_[flow_id] = sink; }
+  void Register(uint64_t flow_id, PacketSink* sink) {
+    // Re-registering a live flow id would silently misdeliver one endpoint's
+    // packets to another — the classic bug when ids are recycled too early.
+    ELEMENT_DCHECK(sinks_.count(flow_id) == 0 || sinks_[flow_id] == sink)
+        << "flow id " << flow_id << " is still registered";
+    sinks_[flow_id] = sink;
+  }
   void Unregister(uint64_t flow_id) { sinks_.erase(flow_id); }
+  bool HasFlow(uint64_t flow_id) const { return sinks_.count(flow_id) > 0; }
+  // Live registrations; a churn test's leak detector.
+  size_t size() const { return sinks_.size(); }
   // Packets of unregistered flows go to the fallback (e.g. a TcpListener).
   void SetFallback(PacketSink* sink) { fallback_ = sink; }
   void Deliver(Packet pkt) override;
@@ -100,7 +112,23 @@ class DuplexPath {
   // Endpoints at the client register here to receive reverse-direction packets.
   Demux& client_demux() { return client_demux_; }
 
-  uint64_t AllocateFlowId() { return next_flow_id_++; }
+  // Flow ids recycle through a LIFO free list. Only release an id once the
+  // path is drained of its packets (both endpoints closed and destroyed),
+  // otherwise in-flight packets would reach the id's next owner; Demux
+  // catches that misuse with a DCHECK on re-registration.
+  uint64_t AllocateFlowId() {
+    if (!free_flow_ids_.empty()) {
+      uint64_t id = free_flow_ids_.back();
+      free_flow_ids_.pop_back();
+      return id;
+    }
+    return next_flow_id_++;
+  }
+  void ReleaseFlowId(uint64_t flow_id) {
+    ELEMENT_DCHECK(!server_demux_.HasFlow(flow_id) && !client_demux_.HasFlow(flow_id))
+        << "flow id " << flow_id << " released while still registered";
+    free_flow_ids_.push_back(flow_id);
+  }
 
  private:
   Demux server_demux_;
@@ -108,6 +136,7 @@ class DuplexPath {
   std::unique_ptr<Pipe> forward_;
   std::unique_ptr<Pipe> reverse_;
   uint64_t next_flow_id_ = 1;
+  std::vector<uint64_t> free_flow_ids_;
 };
 
 }  // namespace element

@@ -7,6 +7,7 @@
 #include "src/element/byte_sink.h"
 #include "src/element/element_socket.h"
 #include "src/element/interposer.h"
+#include "src/topo/contention.h"
 
 namespace element {
 
@@ -199,6 +200,71 @@ void FillAccuracyResult(const ScenarioSpec& spec, ScenarioResult* result) {
   result->goodput_mbps.Add(result->accuracy.goodput_mbps);
 }
 
+void FillContentionResult(const ScenarioSpec& spec, ScenarioResult* result) {
+  ContentionConfig cfg;
+  cfg.topo = spec.BuildTopology();
+  cfg.flows = spec.num_flows;
+  cfg.congestion_control = spec.cc;
+  cfg.ecn = spec.ecn;
+  cfg.cross.iperf_flows = spec.cross_iperf;
+  cfg.cross.onoff_flows = spec.cross_onoff;
+  cfg.cross.congestion_control = spec.cc;
+  cfg.cross.ecn = spec.ecn;
+  cfg.element_on_first = spec.element_mode == "first";
+  cfg.tracker_period = TimeDelta::FromNanos(static_cast<int64_t>(spec.tracker_period_ms * 1e6));
+  cfg.duration_s = spec.duration_s;
+  cfg.warmup_s = spec.warmup_s;
+  cfg.seed = spec.seed;
+  ContentionResult run = RunContentionExperiment(cfg);
+
+  // Propagation floor of the data direction, for the "relative delay" metric.
+  double base_s =
+      (cfg.topo.access_delay * 2.0 + cfg.topo.bottleneck_delay * static_cast<double>(cfg.topo.hops))
+          .ToSeconds();
+  for (size_t i = 0; i < run.flows.size(); ++i) {
+    const ContentionFlowResult& f = run.flows[i];
+    FlowResult r;
+    r.label = (i == 0 && cfg.element_on_first) ? spec.cc + "+ELEMENT" : spec.cc;
+    r.goodput_mbps = f.goodput_mbps;
+    r.sender_delay_s = f.sender_delay_s;
+    r.network_delay_s = f.network_delay_s;
+    r.receiver_delay_s = f.receiver_delay_s;
+    r.e2e_delay_s = f.e2e_delay_s;
+    r.relative_delay_s = std::max(0.0, f.e2e_delay_s - base_s);
+    r.sender_delay_stdev_s = f.sender_delay_stdev_s;
+    r.receiver_delay_stdev_s = f.receiver_delay_stdev_s;
+    r.retransmits = f.retransmits;
+    result->sender_delay_s.Add(r.sender_delay_s);
+    result->network_delay_s.Add(r.network_delay_s);
+    result->receiver_delay_s.Add(r.receiver_delay_s);
+    result->e2e_delay_s.Add(r.e2e_delay_s);
+    result->goodput_mbps.Add(r.goodput_mbps);
+    result->retransmits += r.retransmits;
+    result->flows.push_back(std::move(r));
+  }
+
+  if (run.has_accuracy) {
+    result->has_accuracy = true;
+    result->accuracy.sender = run.sender_accuracy;
+    result->accuracy.receiver = run.receiver_accuracy;
+    result->accuracy.composition = run.flow0_composition;
+    result->accuracy.goodput_mbps = run.flows.empty() ? 0.0 : run.flows.front().goodput_mbps;
+    for (double e : result->accuracy.sender.errors.samples()) {
+      result->sender_err_s.Add(e);
+    }
+    for (double e : result->accuracy.receiver.errors.samples()) {
+      result->receiver_err_s.Add(e);
+    }
+  }
+
+  result->has_topology = true;
+  result->jain_fairness = run.jain_fairness;
+  result->forwarded_packets = run.forwarded_packets;
+  result->unroutable_packets = run.unroutable_packets;
+  result->cross_flows = static_cast<uint64_t>(run.cross_flows);
+  result->cross_bytes = run.cross_bytes_delivered;
+}
+
 }  // namespace
 
 ScenarioResult ExecuteScenario(const ScenarioSpec& spec) {
@@ -210,7 +276,9 @@ ScenarioResult ExecuteScenario(const ScenarioSpec& spec) {
     return result;
   }
   try {
-    if (spec.app == "accuracy") {
+    if (spec.topology != "none") {
+      FillContentionResult(spec, &result);
+    } else if (spec.app == "accuracy") {
       FillAccuracyResult(spec, &result);
     } else {
       FillLegacyResult(spec, &result);

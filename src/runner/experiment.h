@@ -85,6 +85,15 @@ struct ScenarioResult {
   RunningStats goodput_mbps;
   uint64_t retransmits = 0;
 
+  // Topology runs only (spec.topology != "none"); surfaced in per-scenario
+  // result rows, never folded into the aggregate.
+  bool has_topology = false;
+  double jain_fairness = 1.0;        // over foreground goodputs
+  uint64_t forwarded_packets = 0;    // summed over every router
+  uint64_t unroutable_packets = 0;   // 0 in a well-routed run
+  uint64_t cross_flows = 0;
+  uint64_t cross_bytes = 0;
+
   // Wall-clock cost of the run (harness metric; never part of deterministic
   // output).
   double wall_seconds = 0.0;

@@ -206,6 +206,18 @@ json::Value ResultRowJson(const ScenarioResult& result) {
   row.Set("receiver_delay_s", HistogramJson(result.receiver_delay_s));
   row.Set("e2e_delay_s", HistogramJson(result.e2e_delay_s));
   row.Set("retransmits", json::Value::Int(static_cast<int64_t>(result.retransmits)));
+  if (result.has_topology) {
+    // Per-row only: the mergeable aggregate's key set is golden-pinned.
+    json::Value topo = json::Value::Object();
+    topo.Set("topology", json::Value::Str(result.spec.topology));
+    topo.Set("jain_fairness", json::Value::Number(result.jain_fairness));
+    topo.Set("forwarded_packets", json::Value::Int(static_cast<int64_t>(result.forwarded_packets)));
+    topo.Set("unroutable_packets",
+             json::Value::Int(static_cast<int64_t>(result.unroutable_packets)));
+    topo.Set("cross_flows", json::Value::Int(static_cast<int64_t>(result.cross_flows)));
+    topo.Set("cross_bytes", json::Value::Int(static_cast<int64_t>(result.cross_bytes)));
+    row.Set("contention", std::move(topo));
+  }
   if (result.has_accuracy) {
     json::Value acc = json::Value::Object();
     acc.Set("sender_accuracy", json::Value::Number(result.accuracy.sender.accuracy));

@@ -48,6 +48,7 @@ bool ParseQdisc(const std::string& name, QdiscType* out) {
 namespace {
 
 const char* const kApps[] = {"legacy", "accuracy"};
+const char* const kTopologies[] = {"none", "dumbbell", "parking_lot"};
 const char* const kProfiles[] = {"wired", "lan", "cable", "cable_up", "wifi", "lte", "lte_up"};
 const char* const kCcs[] = {"reno", "cubic", "cubic-nohystart", "vegas", "ledbat", "bbr"};
 const char* const kElementModes[] = {"off", "first", "wireless"};
@@ -119,6 +120,33 @@ PathConfig ScenarioSpec::BuildPath() const {
   return path;
 }
 
+TopologySpec ScenarioSpec::BuildTopology() const {
+  TopologySpec topo;
+  topo.shape = topology == "parking_lot" ? TopologyShape::kParkingLot : TopologyShape::kDumbbell;
+  topo.hops = topology == "parking_lot" ? hops : 1;
+  topo.host_pairs = host_pairs > 0 ? host_pairs : num_flows;
+  QdiscType q = QdiscType::kPfifoFast;
+  if (ParseQdisc(qdisc, &q)) {
+    topo.qdisc = q;
+  }
+  topo.ecn = ecn;
+  topo.bottleneck_rate = DataRate::Mbps(rate_mbps);
+  if (queue_packets > 0) {
+    topo.queue_limit_packets = static_cast<size_t>(queue_packets);
+  } else {
+    // Same sizing rule as the single-path wired profile: 2x BDP, floor 60.
+    double bdp_pkts = rate_mbps * 1e6 / 8.0 * rtt_ms * 1e-3 / 1500.0;
+    topo.queue_limit_packets = static_cast<size_t>(std::max(60.0, 2.0 * bdp_pkts));
+  }
+  // One-way budget: 5% on each access link, the rest split across the hops,
+  // so Network::BaseRtt() reproduces rtt_ms end to end.
+  double one_way_ms = rtt_ms / 2.0;
+  topo.access_delay = TimeDelta::FromNanos(static_cast<int64_t>(one_way_ms * 0.05 * 1e6));
+  topo.bottleneck_delay =
+      TimeDelta::FromNanos(static_cast<int64_t>(one_way_ms * 0.9 / topo.hops * 1e6));
+  return topo;
+}
+
 std::string ScenarioSpec::Validate() const {
   std::ostringstream os;
   if (!OneOf(app, kApps)) {
@@ -147,6 +175,30 @@ std::string ScenarioSpec::Validate() const {
     os << "rtt_ms must be positive, got " << rtt_ms;
   } else if (loss < 0.0 || loss >= 1.0) {
     os << "loss must be in [0, 1), got " << loss;
+  } else if (!OneOf(topology, kTopologies)) {
+    os << "unknown topology '" << topology << "' (" << Options(kTopologies) << ")";
+  } else if (hops < 1 || hops > 16) {
+    os << "hops must be in [1, 16], got " << hops;
+  } else if (host_pairs < 0) {
+    os << "host_pairs must be >= 0, got " << host_pairs;
+  } else if (cross_iperf < 0 || cross_onoff < 0) {
+    os << "cross_iperf/cross_onoff must be >= 0";
+  } else if (topology != "none") {
+    if (topology == "dumbbell" && hops != 1) {
+      os << "dumbbell topology is single-hop; set hops via topology=parking_lot";
+    } else if (app != "legacy") {
+      os << "topology runs use app=legacy (got '" << app << "')";
+    } else if (profile != "wired") {
+      os << "topology runs use profile=wired (got '" << profile << "')";
+    } else if (element_mode == "wireless") {
+      os << "element_mode=wireless is single-path only";
+    } else if (download) {
+      os << "download is single-path only";
+    } else if (loss > 0.0) {
+      os << "loss is single-path only";
+    }
+  } else if (cross_iperf > 0 || cross_onoff > 0) {
+    os << "cross traffic needs a topology";
   }
   return os.str();
 }
@@ -163,6 +215,11 @@ json::Value ScenarioSpec::ToJson() const {
   obj.Set("loss", json::Value::Number(loss));
   obj.Set("qdisc", json::Value::Str(qdisc));
   obj.Set("cc", json::Value::Str(cc));
+  obj.Set("topology", json::Value::Str(topology));
+  obj.Set("hops", json::Value::Int(hops));
+  obj.Set("host_pairs", json::Value::Int(host_pairs));
+  obj.Set("cross_iperf", json::Value::Int(cross_iperf));
+  obj.Set("cross_onoff", json::Value::Int(cross_onoff));
   obj.Set("num_flows", json::Value::Int(num_flows));
   obj.Set("element_mode", json::Value::Str(element_mode));
   obj.Set("download", json::Value::Bool(download));
@@ -183,8 +240,9 @@ bool ApplySpecFields(const json::Value& obj, ScenarioSpec* spec, bool skip_array
                      std::string* error) {
   for (const auto& [key, v] : obj.fields()) {
     if (skip_arrays && v.is_array() &&
-        (key == "qdisc" || key == "cc" || key == "profile" || key == "rate_mbps" ||
-         key == "rtt_ms")) {
+        (key == "qdisc" || key == "cc" || key == "profile" || key == "topology" ||
+         key == "rate_mbps" || key == "rtt_ms" || key == "num_flows" || key == "cross_iperf" ||
+         key == "cross_onoff")) {
       continue;
     }
     if (skip_arrays && key == "seed" && v.is_object()) {
@@ -212,6 +270,16 @@ bool ApplySpecFields(const json::Value& obj, ScenarioSpec* spec, bool skip_array
       spec->cc = v.AsString(spec->cc);
     } else if (key == "num_flows") {
       spec->num_flows = static_cast<int>(v.AsInt(spec->num_flows));
+    } else if (key == "topology") {
+      spec->topology = v.AsString(spec->topology);
+    } else if (key == "hops") {
+      spec->hops = static_cast<int>(v.AsInt(spec->hops));
+    } else if (key == "host_pairs") {
+      spec->host_pairs = static_cast<int>(v.AsInt(spec->host_pairs));
+    } else if (key == "cross_iperf") {
+      spec->cross_iperf = static_cast<int>(v.AsInt(spec->cross_iperf));
+    } else if (key == "cross_onoff") {
+      spec->cross_onoff = static_cast<int>(v.AsInt(spec->cross_onoff));
     } else if (key == "element_mode") {
       spec->element_mode = v.AsString(spec->element_mode);
     } else if (key == "download") {
@@ -254,6 +322,16 @@ std::vector<double> NumberAxis(const json::Value& sweep, const std::string& key)
   return out;
 }
 
+std::vector<int> IntAxis(const json::Value& sweep, const std::string& key) {
+  std::vector<int> out;
+  if (const json::Value* v = sweep.Find(key); v != nullptr && v->is_array()) {
+    for (const json::Value& item : v->items()) {
+      out.push_back(static_cast<int>(item.AsInt()));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<ScenarioSpec> SweepSpec::Expand() const {
@@ -264,48 +342,84 @@ std::vector<ScenarioSpec> SweepSpec::Expand() const {
     }
     return axis;
   };
+  auto int_or_base = [](std::vector<int> axis, int base_value) {
+    if (axis.empty()) {
+      axis.push_back(base_value);
+    }
+    return axis;
+  };
   std::vector<std::string> axis_profiles = or_base(profiles, base.profile);
+  std::vector<std::string> axis_topologies = or_base(topologies, base.topology);
   std::vector<std::string> axis_qdiscs = or_base(qdiscs, base.qdisc);
   std::vector<std::string> axis_ccs = or_base(ccs, base.cc);
   std::vector<double> axis_rates = rates_mbps.empty() ? std::vector<double>{base.rate_mbps}
                                                       : rates_mbps;
   std::vector<double> axis_rtts = rtts_ms.empty() ? std::vector<double>{base.rtt_ms} : rtts_ms;
+  std::vector<int> axis_flows = int_or_base(flow_counts, base.num_flows);
+  std::vector<int> axis_cross_iperfs = int_or_base(cross_iperfs, base.cross_iperf);
+  std::vector<int> axis_cross_onoffs = int_or_base(cross_onoffs, base.cross_onoff);
 
   std::string stem = base.name.empty() ? "sweep" : base.name;
   std::vector<ScenarioSpec> out;
-  out.reserve(axis_profiles.size() * axis_rates.size() * axis_rtts.size() * axis_qdiscs.size() *
-              axis_ccs.size() * static_cast<size_t>(std::max(1, seed_count)));
+  out.reserve(axis_profiles.size() * axis_topologies.size() * axis_rates.size() *
+              axis_rtts.size() * axis_qdiscs.size() * axis_ccs.size() * axis_flows.size() *
+              axis_cross_iperfs.size() * axis_cross_onoffs.size() *
+              static_cast<size_t>(std::max(1, seed_count)));
   for (const std::string& profile : axis_profiles) {
-    for (double rate : axis_rates) {
-      for (double rtt : axis_rtts) {
-        for (const std::string& qdisc : axis_qdiscs) {
-          for (const std::string& cc : axis_ccs) {
-            ScenarioSpec spec = base;
-            spec.profile = profile;
-            spec.rate_mbps = rate;
-            spec.rtt_ms = rtt;
-            spec.qdisc = qdisc;
-            spec.cc = cc;
-            std::string label = stem;
-            if (profiles.size() > 1) {
-              label += "/" + profile;
-            }
-            if (rates_mbps.size() > 1) {
-              label += "/" + json::FormatNumber(rate) + "mbps";
-            }
-            if (rtts_ms.size() > 1) {
-              label += "/" + json::FormatNumber(rtt) + "ms";
-            }
-            if (qdiscs.size() > 1) {
-              label += "/" + qdisc;
-            }
-            if (ccs.size() > 1) {
-              label += "/" + cc;
-            }
-            spec.name = label;
-            for (int k = 0; k < std::max(1, seed_count); ++k) {
-              spec.seed = seed_base + static_cast<uint64_t>(k);
-              out.push_back(spec);
+    for (const std::string& topology : axis_topologies) {
+      for (double rate : axis_rates) {
+        for (double rtt : axis_rtts) {
+          for (const std::string& qdisc : axis_qdiscs) {
+            for (const std::string& cc : axis_ccs) {
+              for (int flows : axis_flows) {
+                for (int ci : axis_cross_iperfs) {
+                  for (int co : axis_cross_onoffs) {
+                    ScenarioSpec spec = base;
+                    spec.profile = profile;
+                    spec.topology = topology;
+                    spec.rate_mbps = rate;
+                    spec.rtt_ms = rtt;
+                    spec.qdisc = qdisc;
+                    spec.cc = cc;
+                    spec.num_flows = flows;
+                    spec.cross_iperf = ci;
+                    spec.cross_onoff = co;
+                    std::string label = stem;
+                    if (profiles.size() > 1) {
+                      label += "/" + profile;
+                    }
+                    if (topologies.size() > 1) {
+                      label += "/" + topology;
+                    }
+                    if (rates_mbps.size() > 1) {
+                      label += "/" + json::FormatNumber(rate) + "mbps";
+                    }
+                    if (rtts_ms.size() > 1) {
+                      label += "/" + json::FormatNumber(rtt) + "ms";
+                    }
+                    if (qdiscs.size() > 1) {
+                      label += "/" + qdisc;
+                    }
+                    if (ccs.size() > 1) {
+                      label += "/" + cc;
+                    }
+                    if (flow_counts.size() > 1) {
+                      label += "/" + std::to_string(flows) + "f";
+                    }
+                    if (cross_iperfs.size() > 1) {
+                      label += "/ci" + std::to_string(ci);
+                    }
+                    if (cross_onoffs.size() > 1) {
+                      label += "/co" + std::to_string(co);
+                    }
+                    spec.name = label;
+                    for (int k = 0; k < std::max(1, seed_count); ++k) {
+                      spec.seed = seed_base + static_cast<uint64_t>(k);
+                      out.push_back(spec);
+                    }
+                  }
+                }
+              }
             }
           }
         }
@@ -368,8 +482,12 @@ bool ScenarioSuite::ParseJson(const std::string& text, ScenarioSuite* out, std::
       sweep.qdiscs = StringAxis(entry, "qdisc");
       sweep.ccs = StringAxis(entry, "cc");
       sweep.profiles = StringAxis(entry, "profile");
+      sweep.topologies = StringAxis(entry, "topology");
       sweep.rates_mbps = NumberAxis(entry, "rate_mbps");
       sweep.rtts_ms = NumberAxis(entry, "rtt_ms");
+      sweep.flow_counts = IntAxis(entry, "num_flows");
+      sweep.cross_iperfs = IntAxis(entry, "cross_iperf");
+      sweep.cross_onoffs = IntAxis(entry, "cross_onoff");
       sweep.seed_base = sweep.base.seed;
       if (const json::Value* seed = entry.Find("seed"); seed != nullptr && seed->is_object()) {
         if (const json::Value* b = seed->Find("base")) {

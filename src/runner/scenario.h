@@ -20,6 +20,7 @@
 
 #include "src/runner/json.h"
 #include "src/tcpsim/testbed.h"
+#include "src/topo/topology.h"
 
 namespace element {
 
@@ -45,6 +46,17 @@ struct ScenarioSpec {
   std::string qdisc = "pfifo_fast";  // pfifo_fast | codel | fq_codel | pie | red
   std::string cc = "cubic";          // MakeCongestionControl() name
 
+  // Multi-flow topology: "none" keeps the single-path Testbed; "dumbbell" and
+  // "parking_lot" route the flows through a src/topo Network instead. With a
+  // topology, rate/rtt/queue describe the bottleneck hop(s) and `profile`
+  // must stay "wired" (production profiles are single-path).
+  std::string topology = "none";  // none | dumbbell | parking_lot
+  int hops = 1;                   // parking_lot: bottleneck hop count
+  // 0 => one end-to-end host pair per foreground flow.
+  int host_pairs = 0;
+  int cross_iperf = 0;  // per hop: long-lived competing flows
+  int cross_onoff = 0;  // per hop: on-off Pareto web-like flows
+
   int num_flows = 1;  // legacy app: parallel iperf flows
   // "off" = plain TCP; "first" = flow 0 through the ELEMENT interposer;
   // "wireless" = interposer in LTE/WiFi mode (Algorithm 3).
@@ -64,6 +76,11 @@ struct ScenarioSpec {
   // Resolves the path description into the simulator's PathConfig.
   PathConfig BuildPath() const;
 
+  // Resolves the topology knobs into a src/topo spec (topology != "none").
+  // The rtt_ms budget is split 10% across the access links and 90% across
+  // the bottleneck hops so BaseRtt() matches the requested RTT.
+  TopologySpec BuildTopology() const;
+
   // Empty string when the spec is well-formed, else a description of the
   // first problem (unknown qdisc/cc/app/profile, non-positive duration, ...).
   std::string Validate() const;
@@ -79,13 +96,18 @@ struct SweepSpec {
   std::vector<std::string> qdiscs;
   std::vector<std::string> ccs;
   std::vector<std::string> profiles;
+  std::vector<std::string> topologies;
   std::vector<double> rates_mbps;
   std::vector<double> rtts_ms;
+  std::vector<int> flow_counts;
+  std::vector<int> cross_iperfs;
+  std::vector<int> cross_onoffs;
   uint64_t seed_base = 1;
   int seed_count = 1;
 
-  // Expansion order: profiles > rates > rtts > qdiscs > ccs > seeds
-  // (outermost to innermost), deterministic.
+  // Expansion order: profiles > topologies > rates > rtts > qdiscs > ccs >
+  // flows > cross_iperf > cross_onoff > seeds (outermost to innermost),
+  // deterministic.
   std::vector<ScenarioSpec> Expand() const;
 };
 
@@ -97,7 +119,9 @@ struct ScenarioSuite {
   //   { "suite": "...", "defaults": {spec fields},
   //     "scenarios": [ {spec fields}, ... ],
   //     "sweeps": [ { spec fields..., "qdisc": [...], "cc": [...],
-  //                   "profile": [...], "rate_mbps": [...], "rtt_ms": [...],
+  //                   "profile": [...], "topology": [...], "rate_mbps": [...],
+  //                   "rtt_ms": [...], "num_flows": [...],
+  //                   "cross_iperf": [...], "cross_onoff": [...],
   //                   "seed": {"base": N, "count": M} }, ... ] }
   // Explicit scenarios come first, then sweep expansions in file order.
   static bool ParseJson(const std::string& text, ScenarioSuite* out, std::string* error);

@@ -72,7 +72,7 @@ Testbed::Testbed(uint64_t seed, const PathConfig& config) : config_(config), rng
       break;
   }
   std::unique_ptr<Qdisc> fwd_qdisc =
-      MakeQdisc(config_.qdisc, config_.queue_limit_packets, config_.ecn);
+      MakeBottleneckQdisc(config_.qdisc, config_.queue_limit_packets, config_.ecn, &rng_);
   if (config_.instrument_bottleneck) {
     auto probe = std::make_unique<InstrumentedQdisc>(std::move(fwd_qdisc));
     bottleneck_probe_ = probe.get();
@@ -82,7 +82,7 @@ Testbed::Testbed(uint64_t seed, const PathConfig& config) : config_(config), rng
                                        std::move(rev_qdisc), std::move(rev_link));
 }
 
-std::unique_ptr<Qdisc> Testbed::MakeQdisc(QdiscType type, size_t limit, bool ecn) {
+std::unique_ptr<Qdisc> MakeBottleneckQdisc(QdiscType type, size_t limit, bool ecn, Rng* rng) {
   std::unique_ptr<Qdisc> q;
   switch (type) {
     case QdiscType::kPfifoFast:
@@ -103,7 +103,7 @@ std::unique_ptr<Qdisc> Testbed::MakeQdisc(QdiscType type, size_t limit, bool ecn
     case QdiscType::kPie: {
       PieParams params;
       params.limit_packets = limit;
-      q = std::make_unique<Pie>(params, rng_.Fork());
+      q = std::make_unique<Pie>(params, rng->Fork());
       break;
     }
     case QdiscType::kRed: {
@@ -111,7 +111,7 @@ std::unique_ptr<Qdisc> Testbed::MakeQdisc(QdiscType type, size_t limit, bool ecn
       params.limit_packets = limit;
       params.min_threshold_packets = static_cast<double>(limit) * 0.2;
       params.max_threshold_packets = static_cast<double>(limit) * 0.6;
-      q = std::make_unique<Red>(params, rng_.Fork());
+      q = std::make_unique<Red>(params, rng->Fork());
       break;
     }
   }

@@ -44,6 +44,12 @@ struct PathConfig {
   size_t reverse_queue_limit_packets = 1000;
 };
 
+// Shared qdisc factory used by the Testbed and the topology layer
+// (src/topo/): builds one bottleneck discipline with the repo's standard
+// parameterization (FQ-CoDel gets a roomy per-qdisc limit, RED thresholds at
+// 20%/60% of the limit). Disciplines that need randomness fork `rng`.
+std::unique_ptr<Qdisc> MakeBottleneckQdisc(QdiscType type, size_t limit, bool ecn, Rng* rng);
+
 // Named production-network profiles from the paper (Sections 2.2 and 4.3).
 PathConfig LanProfile();
 PathConfig CableProfile(bool upload = false);
@@ -81,7 +87,6 @@ class Testbed {
   InstrumentedQdisc* bottleneck_probe() { return bottleneck_probe_; }
 
  private:
-  std::unique_ptr<Qdisc> MakeQdisc(QdiscType type, size_t limit, bool ecn);
   std::unique_ptr<LinkModel> MakeForwardLink();
 
   PathConfig config_;

@@ -1,0 +1,123 @@
+#include "src/topo/cross_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace element {
+
+namespace {
+// Write granularity for on-off bursts; matches IperfApp's default chunk.
+constexpr size_t kBurstChunkBytes = 128 * 1024;
+}  // namespace
+
+OnOffSender::OnOffSender(EventLoop* loop, TcpSocket* socket, Rng rng,
+                         const CrossTrafficConfig& config)
+    : loop_(loop),
+      socket_(socket),
+      rng_(std::move(rng)),
+      // Pareto mean = scale * shape / (shape - 1); solve for scale so bursts
+      // average config.mean_burst_bytes.
+      burst_scale_(config.mean_burst_bytes * (config.pareto_shape - 1.0) /
+                   config.pareto_shape),
+      pareto_shape_(config.pareto_shape),
+      mean_off_(config.mean_off_time),
+      off_timer_(loop, [this] { StartBurst(); }) {
+  ELEMENT_CHECK(config.pareto_shape > 1.0)
+      << "on-off Pareto shape must be > 1 for a finite mean burst, got "
+      << config.pareto_shape;
+}
+
+void OnOffSender::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  socket_->SetWritableCallback([this] { Pump(); });
+  StartBurst();
+}
+
+void OnOffSender::StartBurst() {
+  ++bursts_started_;
+  double draw = rng_.Pareto(burst_scale_, pareto_shape_);
+  uint64_t min_burst = socket_->mss();
+  burst_remaining_ = std::max<uint64_t>(min_burst, static_cast<uint64_t>(std::llround(draw)));
+  Pump();
+}
+
+void OnOffSender::Pump() {
+  while (burst_remaining_ > 0) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(burst_remaining_, kBurstChunkBytes));
+    size_t accepted = socket_->Write(want);
+    if (accepted == 0) {
+      return;  // buffer full; the writable callback resumes the burst
+    }
+    bytes_offered_ += accepted;
+    burst_remaining_ -= accepted;
+  }
+  // Burst complete: go idle for an exponential off period.
+  off_timer_.RestartAfter(TimeDelta::FromSeconds(rng_.Exponential(mean_off_.ToSeconds())));
+}
+
+CrossTraffic::CrossTraffic(EventLoop* loop, Rng* rng, Network* net,
+                           const CrossTrafficConfig& config)
+    : config_(config) {
+  for (int hop = 0; hop < net->spec().hops; ++hop) {
+    for (int i = 0; i < config_.iperf_flows; ++i) {
+      AddFlow(loop, rng, net, hop, /*onoff=*/false);
+    }
+    for (int i = 0; i < config_.onoff_flows; ++i) {
+      AddFlow(loop, rng, net, hop, /*onoff=*/true);
+    }
+  }
+}
+
+void CrossTraffic::AddFlow(EventLoop* loop, Rng* rng, Network* net, int hop, bool onoff) {
+  CrossFlow flow;
+  flow.pair = net->AttachHostPair(hop, hop + 1);
+  flow.flow_id = net->AllocateFlowId();
+  net->RouteFlow(flow.flow_id, flow.pair);
+
+  TcpSocket::Config socket_config;
+  socket_config.congestion_control = config_.congestion_control;
+  socket_config.ecn = config_.ecn;
+  Network::Attachment snd = net->sender(flow.pair);
+  Network::Attachment rcv = net->receiver(flow.pair);
+  flow.sender = std::make_unique<TcpSocket>(loop, rng->Fork(), socket_config, flow.flow_id,
+                                            snd.tx, snd.rx);
+  flow.receiver = std::make_unique<TcpSocket>(loop, rng->Fork(), socket_config, flow.flow_id,
+                                              rcv.tx, rcv.rx);
+  flow.receiver->Listen();
+  flow.sender->Connect();
+
+  flow.sink = std::make_unique<RawTcpSink>(flow.sender.get());
+  if (onoff) {
+    flow.onoff = std::make_unique<OnOffSender>(loop, flow.sender.get(), rng->Fork(), config_);
+  } else {
+    flow.iperf = std::make_unique<IperfApp>(loop, flow.sink.get());
+  }
+  flow.reader = std::make_unique<SinkApp>(flow.receiver.get());
+  flows_.push_back(std::move(flow));
+}
+
+void CrossTraffic::Start() {
+  for (CrossFlow& flow : flows_) {
+    flow.reader->Start();
+    if (flow.onoff != nullptr) {
+      flow.onoff->Start();
+    } else {
+      flow.iperf->Start();
+    }
+  }
+}
+
+uint64_t CrossTraffic::TotalBytesDelivered() const {
+  uint64_t total = 0;
+  for (const CrossFlow& flow : flows_) {
+    total += flow.receiver->app_bytes_read();
+  }
+  return total;
+}
+
+}  // namespace element

@@ -1,0 +1,82 @@
+// Router: the forwarding element of the multi-flow topology layer. A router
+// owns nothing but a forwarding table; its egress "ports" are plain
+// PacketSinks (usually Pipes owned by the Network, sometimes a host demux or
+// another router directly). Forwarding is static: routes are installed when a
+// flow is wired through the topology and removed on teardown — there is no
+// routing protocol, which keeps multi-hop runs exactly reproducible.
+//
+// Lookup is a dense vector indexed by flow id (flow ids are small and
+// allocated densely by Network/DuplexPath), so the per-packet cost on the
+// forwarding hot path is one bounds check and one load. Flows without an
+// exact route fall through to the default port (the "next hop toward the far
+// end" in dumbbell/parking-lot shapes); packets with neither are counted
+// dropped, never delivered.
+
+#ifndef ELEMENT_SRC_TOPO_ROUTER_H_
+#define ELEMENT_SRC_TOPO_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/netsim/packet.h"
+
+namespace element {
+
+struct RouterStats {
+  uint64_t forwarded_packets = 0;
+  uint64_t forwarded_bytes = 0;
+  uint64_t unroutable_packets = 0;  // no exact route and no default port
+};
+
+class Router : public PacketSink {
+ public:
+  explicit Router(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Registers an egress port and returns its index. Ports are never removed;
+  // topology shape is fixed for the lifetime of a run.
+  int AddPort(PacketSink* next_hop) {
+    ELEMENT_CHECK(next_hop != nullptr) << name_ << ": null egress port";
+    ports_.push_back(next_hop);
+    return static_cast<int>(ports_.size()) - 1;
+  }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+
+  // Flows without an exact route forward here (-1 disables, the default).
+  void SetDefaultPort(int port) {
+    ELEMENT_CHECK(port >= -1 && port < port_count())
+        << name_ << ": bad default port " << port;
+    default_port_ = port;
+  }
+
+  void AddRoute(uint64_t flow_id, int port);
+  void RemoveRoute(uint64_t flow_id);
+  bool HasRoute(uint64_t flow_id) const {
+    return flow_id < routes_.size() && routes_[flow_id] >= 0;
+  }
+  // Live exact routes — churn tests assert this returns to its baseline.
+  size_t route_count() const { return route_count_; }
+
+  const RouterStats& stats() const { return stats_; }
+
+  // PacketSink: table lookup + hand-off to the egress port.
+  void Deliver(Packet pkt) override;
+
+ private:
+  std::string name_;
+  std::vector<PacketSink*> ports_;
+  // flow id -> port index, -1 = no exact route. Dense: ids come from the
+  // Network's allocator which recycles released ids, so the table stays
+  // proportional to the peak concurrent flow count.
+  std::vector<int32_t> routes_;
+  size_t route_count_ = 0;
+  int default_port_ = -1;
+  RouterStats stats_;
+};
+
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TOPO_ROUTER_H_

@@ -1,0 +1,70 @@
+// S3: fairness invariants at the shared bottleneck. N identical Cubic flows
+// through FQ-CoDel must converge to near-equal shares (Jain index ~1 and a
+// tight per-flow band); pfifo_fast with a shallow buffer shows the expected
+// synchronization unfairness and must not score better than FQ-CoDel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/topo/contention.h"
+
+namespace element {
+namespace {
+
+ContentionResult RunFairness(QdiscType qdisc, int flows, size_t queue_packets, uint64_t seed) {
+  ContentionConfig cfg;
+  cfg.topo.shape = TopologyShape::kDumbbell;
+  cfg.topo.host_pairs = flows;
+  cfg.topo.qdisc = qdisc;
+  cfg.topo.queue_limit_packets = queue_packets;
+  cfg.topo.bottleneck_rate = DataRate::Mbps(20);
+  cfg.flows = flows;
+  cfg.congestion_control = "cubic";
+  cfg.duration_s = 30.0;
+  cfg.warmup_s = 5.0;
+  cfg.seed = seed;
+  return RunContentionExperiment(cfg);
+}
+
+double FairShareSpread(const ContentionResult& result) {
+  double lo = result.flows[0].goodput_mbps;
+  double hi = lo;
+  for (const ContentionFlowResult& f : result.flows) {
+    lo = std::min(lo, f.goodput_mbps);
+    hi = std::max(hi, f.goodput_mbps);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+TEST(FairnessTest, FqCodelSharesBottleneckEvenly) {
+  ContentionResult result = RunFairness(QdiscType::kFqCoDel, 8, 100, 11);
+  ASSERT_EQ(result.flows.size(), 8u);
+  EXPECT_GE(result.jain_fairness, 0.995);
+  // Tolerance band: the slowest flow gets at least 80% of the fastest.
+  EXPECT_GE(FairShareSpread(result), 0.80);
+  // All of the link is used (8 x fair share ~ 20 Mbps, minus header tax).
+  double total = 0.0;
+  for (const ContentionFlowResult& f : result.flows) {
+    total += f.goodput_mbps;
+  }
+  EXPECT_GT(total, 17.0);
+  EXPECT_EQ(result.unroutable_packets, 0u);
+}
+
+TEST(FairnessTest, PfifoFastShowsExpectedUnfairness) {
+  // Shallow FIFO + 8 synchronized Cubic flows: some flows lock in larger
+  // shares. The exact index is seed-dependent, so assert the ordering
+  // against FQ-CoDel on the same scenario rather than a point value.
+  ContentionResult fifo = RunFairness(QdiscType::kPfifoFast, 8, 40, 11);
+  ContentionResult fq = RunFairness(QdiscType::kFqCoDel, 8, 40, 11);
+  ASSERT_EQ(fifo.flows.size(), 8u);
+  EXPECT_LT(fifo.jain_fairness, fq.jain_fairness);
+  EXPECT_LT(FairShareSpread(fifo), FairShareSpread(fq));
+  // FIFO stays in a sane range: contended but nobody fully starved.
+  EXPECT_GT(fifo.jain_fairness, 0.5);
+}
+
+}  // namespace
+}  // namespace element

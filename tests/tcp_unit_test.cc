@@ -165,6 +165,7 @@ TEST_F(TcpUnitTest, NagleHoldsSubMssTailUntilAcked) {
 TEST_F(TcpUnitTest, NagleDisabledSendsTailImmediately) {
   TcpSocket::Config cfg = Config();
   cfg.nagle = false;
+  socket_.reset();  // release flow id 1 before re-registering it
   socket_ = std::make_unique<TcpSocket>(&loop_, Rng(2), cfg, 1, &capture_, &demux_);
   Establish();
   socket_->Write(kDefaultMss + 100);
@@ -258,6 +259,7 @@ TEST_F(TcpUnitTest, SackedSegmentsAreNotRetransmittedHoleIs) {
 TEST_F(TcpUnitTest, EcnEchoUntilCwr) {
   TcpSocket::Config cfg = Config();
   cfg.ecn = true;
+  socket_.reset();  // release flow id 1 before re-registering it
   socket_ = std::make_unique<TcpSocket>(&loop_, Rng(3), cfg, 1, &capture_, &demux_);
   Establish();
   InjectData(0, kDefaultMss, /*ce_mark=*/true);

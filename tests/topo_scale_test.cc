@@ -1,0 +1,121 @@
+// Scale tests for the topology subsystem (slow label, excluded from tier-1):
+// >= 1k concurrent flows through one dumbbell bottleneck with a byte-identical
+// run-twice aggregate, and 1k-flow churn exercising flow-id recycling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/apps/iperf_app.h"
+#include "src/runner/fleet.h"
+#include "src/topo/topology.h"
+
+namespace element {
+namespace {
+
+TEST(TopoScaleTest, ThousandFlowDumbbellIsDeterministic) {
+  ScenarioSpec spec;
+  spec.name = "dumbbell_1k";
+  spec.topology = "dumbbell";
+  spec.num_flows = 1024;
+  spec.host_pairs = 32;  // 32 flows share each host pair's access links
+  spec.rate_mbps = 200.0;
+  spec.rtt_ms = 20.0;
+  spec.qdisc = "fq_codel";
+  spec.duration_s = 3.0;
+  spec.warmup_s = 0.5;
+  spec.seed = 9;
+
+  ScenarioResult first = ExecuteScenario(spec);
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_EQ(first.flows.size(), 1024u);
+  EXPECT_TRUE(first.has_topology);
+  EXPECT_EQ(first.unroutable_packets, 0u);
+  EXPECT_GT(first.goodput_mbps.mean(), 0.0);
+
+  ScenarioResult second = ExecuteScenario(spec);
+  ASSERT_TRUE(second.ok) << second.error;
+  // Byte-identical deterministic rows, not just close numbers.
+  EXPECT_EQ(ResultRowJson(first).Dump(), ResultRowJson(second).Dump());
+  std::vector<ScenarioResult> fleet_a;
+  fleet_a.push_back(std::move(first));
+  std::vector<ScenarioResult> fleet_b;
+  fleet_b.push_back(std::move(second));
+  EXPECT_EQ(AggregateResults(fleet_a).ToJson().Dump(), AggregateResults(fleet_b).ToJson().Dump());
+}
+
+TEST(TopoScaleTest, ThousandFlowChurnRecyclesIds) {
+  EventLoop loop;
+  Rng rng(4);
+  TopologySpec spec;
+  spec.host_pairs = 1;
+  spec.bottleneck_rate = DataRate::Mbps(400);
+  Network net(&loop, &rng, spec);
+  Network::Attachment snd = net.sender(0);
+  Network::Attachment rcv = net.receiver(0);
+
+  constexpr int kRounds = 16;
+  constexpr int kFlowsPerRound = 64;  // 1024 flows total through recycled ids
+  uint64_t max_id_seen = 0;
+  SimTime now = SimTime::Zero();
+  for (int round = 0; round < kRounds; ++round) {
+    struct Live {
+      uint64_t id;
+      std::unique_ptr<TcpSocket> sender;
+      std::unique_ptr<TcpSocket> receiver;
+      std::unique_ptr<SinkApp> reader;
+    };
+    std::vector<Live> live;
+    for (int i = 0; i < kFlowsPerRound; ++i) {
+      Live f;
+      f.id = net.AllocateFlowId();
+      max_id_seen = std::max(max_id_seen, f.id);
+      net.RouteFlow(f.id, 0);
+      TcpSocket::Config config;
+      f.sender = std::make_unique<TcpSocket>(&loop, rng.Fork(), config, f.id, snd.tx, snd.rx);
+      f.receiver = std::make_unique<TcpSocket>(&loop, rng.Fork(), config, f.id, rcv.tx, rcv.rx);
+      f.receiver->Listen();
+      f.sender->Connect();
+      f.reader = std::make_unique<SinkApp>(f.receiver.get());
+      f.reader->Start();
+      live.push_back(std::move(f));
+    }
+    now += TimeDelta::FromMillis(500);
+    loop.RunUntil(now);
+    for (Live& f : live) {
+      ASSERT_TRUE(f.sender->established());
+      f.sender->Write(8000);
+      f.sender->Close();
+    }
+    now += TimeDelta::FromSecondsInt(8);
+    loop.RunUntil(now);
+    for (Live& f : live) {
+      ASSERT_TRUE(f.sender->fin_acked());
+      EXPECT_EQ(f.receiver->app_bytes_read(), 8000u);
+    }
+    std::vector<uint64_t> ids;
+    for (Live& f : live) {
+      ids.push_back(f.id);
+    }
+    live.clear();
+    for (uint64_t id : ids) {
+      net.UnrouteFlow(id, 0);
+    }
+    now += TimeDelta::FromSecondsInt(2);
+    loop.RunUntil(now);
+    for (uint64_t id : ids) {
+      net.ReleaseFlowId(id);
+    }
+    ASSERT_EQ(snd.rx->size(), 0u);
+    ASSERT_EQ(rcv.rx->size(), 0u);
+  }
+  EXPECT_LE(max_id_seen, static_cast<uint64_t>(kFlowsPerRound));
+  EXPECT_EQ(net.TotalUnroutablePackets(), 0u);
+  EXPECT_EQ(snd.rx->unroutable_packets(), 0u);
+  EXPECT_EQ(rcv.rx->unroutable_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace element

@@ -1,0 +1,367 @@
+// Tests for the multi-flow topology subsystem: router forwarding, dumbbell /
+// parking-lot delivery, ECN CE survival across hops, flow-id churn without
+// demux leaks or misdelivery, and seeded-run determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/apps/iperf_app.h"
+#include "src/common/rng.h"
+#include "src/evloop/event_loop.h"
+#include "src/topo/contention.h"
+#include "src/topo/cross_traffic.h"
+#include "src/topo/router.h"
+#include "src/topo/topology.h"
+
+namespace element {
+namespace {
+
+SimTime Sec(double s) { return SimTime::FromNanos(static_cast<int64_t>(s * 1e9)); }
+
+class CaptureSink : public PacketSink {
+ public:
+  void Deliver(Packet pkt) override { packets.push_back(std::move(pkt)); }
+  std::vector<Packet> packets;
+};
+
+Packet MakePacket(uint64_t flow_id, uint32_t size = 1500) {
+  Packet pkt;
+  pkt.flow_id = flow_id;
+  pkt.size_bytes = size;
+  return pkt;
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+TEST(RouterTest, ExactRouteWinsOverDefault) {
+  Router router("r");
+  CaptureSink a;
+  CaptureSink b;
+  int port_a = router.AddPort(&a);
+  int port_b = router.AddPort(&b);
+  router.SetDefaultPort(port_a);
+  router.AddRoute(7, port_b);
+
+  router.Deliver(MakePacket(7));
+  router.Deliver(MakePacket(8));
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets[0].flow_id, 7u);
+  EXPECT_EQ(router.stats().forwarded_packets, 2u);
+  EXPECT_EQ(router.stats().forwarded_bytes, 3000u);
+  EXPECT_EQ(router.stats().unroutable_packets, 0u);
+}
+
+TEST(RouterTest, NoRouteNoDefaultCountsUnroutable) {
+  Router router("r");
+  CaptureSink a;
+  int port_a = router.AddPort(&a);
+  router.AddRoute(1, port_a);
+
+  router.Deliver(MakePacket(2));
+  EXPECT_EQ(a.packets.size(), 0u);
+  EXPECT_EQ(router.stats().unroutable_packets, 1u);
+  EXPECT_EQ(router.stats().forwarded_packets, 0u);
+}
+
+TEST(RouterTest, RemoveRouteRestoresBaseline) {
+  Router router("r");
+  CaptureSink a;
+  int port_a = router.AddPort(&a);
+  EXPECT_EQ(router.route_count(), 0u);
+  router.AddRoute(3, port_a);
+  router.AddRoute(9, port_a);
+  EXPECT_EQ(router.route_count(), 2u);
+  EXPECT_TRUE(router.HasRoute(3));
+  router.RemoveRoute(3);
+  EXPECT_FALSE(router.HasRoute(3));
+  EXPECT_EQ(router.route_count(), 1u);
+  router.RemoveRoute(9);
+  EXPECT_EQ(router.route_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology shapes
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, SpecValidation) {
+  TopologySpec spec;
+  EXPECT_TRUE(spec.Validate().empty());
+  spec.hops = 3;
+  EXPECT_FALSE(spec.Validate().empty());  // dumbbell is single-hop
+  spec.shape = TopologyShape::kParkingLot;
+  EXPECT_TRUE(spec.Validate().empty());
+  spec.hops = 17;
+  EXPECT_FALSE(spec.Validate().empty());
+  spec = TopologySpec{};
+  spec.host_pairs = 0;
+  EXPECT_FALSE(spec.Validate().empty());
+  spec = TopologySpec{};
+  spec.queue_limit_packets = 0;
+  EXPECT_FALSE(spec.Validate().empty());
+}
+
+TEST(TopologyTest, DumbbellDeliversRawPacketsBothWays) {
+  EventLoop loop;
+  Rng rng(1);
+  TopologySpec spec;
+  spec.host_pairs = 2;
+  Network net(&loop, &rng, spec);
+
+  uint64_t flow = net.AllocateFlowId();
+  net.RouteFlow(flow, 1);
+  CaptureSink at_receiver;
+  CaptureSink at_sender;
+  net.receiver(1).rx->Register(flow, &at_receiver);
+  net.sender(1).rx->Register(flow, &at_sender);
+
+  net.sender(1).tx->Deliver(MakePacket(flow));
+  loop.RunUntil(Sec(1.0));
+  ASSERT_EQ(at_receiver.packets.size(), 1u);
+
+  net.receiver(1).tx->Deliver(MakePacket(flow, 52));
+  loop.RunUntil(Sec(2.0));
+  ASSERT_EQ(at_sender.packets.size(), 1u);
+
+  EXPECT_GT(net.BaseRtt(1), TimeDelta::Zero());
+  EXPECT_EQ(net.TotalUnroutablePackets(), 0u);
+  net.receiver(1).rx->Unregister(flow);
+  net.sender(1).rx->Unregister(flow);
+  net.UnrouteFlow(flow, 1);
+  net.ReleaseFlowId(flow);
+}
+
+TEST(TopologyTest, UnroutedFlowIsDroppedAtExit) {
+  EventLoop loop;
+  Rng rng(1);
+  TopologySpec spec;
+  spec.host_pairs = 1;
+  Network net(&loop, &rng, spec);
+
+  // No RouteFlow: the packet forwards onward through default ports but the
+  // last router has no exact exit route and no default.
+  net.sender(0).tx->Deliver(MakePacket(99));
+  loop.RunUntil(Sec(1.0));
+  EXPECT_EQ(net.TotalUnroutablePackets(), 1u);
+}
+
+// S1: a CE mark applied before (or at) hop 0 must survive forwarding across
+// every remaining hop and reach the receiver's demux intact.
+TEST(TopologyTest, EcnMarksSurviveMultiHopForwarding) {
+  EventLoop loop;
+  Rng rng(1);
+  TopologySpec spec;
+  spec.shape = TopologyShape::kParkingLot;
+  spec.hops = 4;
+  spec.host_pairs = 1;
+  Network net(&loop, &rng, spec);
+
+  uint64_t flow = net.AllocateFlowId();
+  net.RouteFlow(flow, 0);
+  CaptureSink at_receiver;
+  net.receiver(0).rx->Register(flow, &at_receiver);
+
+  Packet marked = MakePacket(flow);
+  marked.ecn_capable = true;
+  marked.ecn_marked = true;
+  Packet unmarked = MakePacket(flow);
+  unmarked.ecn_capable = true;
+  net.sender(0).tx->Deliver(marked);
+  net.sender(0).tx->Deliver(unmarked);
+  loop.RunUntil(Sec(1.0));
+
+  ASSERT_EQ(at_receiver.packets.size(), 2u);
+  EXPECT_TRUE(at_receiver.packets[0].ecn_capable);
+  EXPECT_TRUE(at_receiver.packets[0].ecn_marked);
+  EXPECT_TRUE(at_receiver.packets[1].ecn_capable);
+  EXPECT_FALSE(at_receiver.packets[1].ecn_marked);
+  net.receiver(0).rx->Unregister(flow);
+}
+
+// S1, end to end: with ECN on a multi-hop path, CoDel marks instead of
+// dropping, the receiver echoes the marks back across the reverse routers,
+// and the sender reacts — so the transfer completes without retransmissions.
+// With ECN off the same path must show CoDel drops instead.
+TEST(TopologyTest, EcnEchoTamesCodelAcrossHops) {
+  auto run = [](bool ecn) {
+    ContentionConfig cfg;
+    cfg.topo.shape = TopologyShape::kParkingLot;
+    cfg.topo.hops = 3;
+    cfg.topo.host_pairs = 1;
+    cfg.topo.qdisc = QdiscType::kCoDel;
+    cfg.topo.queue_limit_packets = 200;
+    cfg.topo.ecn = ecn;
+    cfg.ecn = ecn;
+    cfg.flows = 1;
+    cfg.duration_s = 8.0;
+    cfg.warmup_s = 1.0;
+    cfg.seed = 5;
+    return RunContentionExperiment(cfg);
+  };
+
+  ContentionResult with_ecn = run(true);
+  ASSERT_EQ(with_ecn.flows.size(), 1u);
+  EXPECT_GT(with_ecn.bottleneck.ecn_marked_packets, 0u);
+  EXPECT_EQ(with_ecn.flows[0].retransmits, 0u);
+  EXPECT_GT(with_ecn.flows[0].goodput_mbps, 5.0);  // 10 Mbps bottleneck
+  EXPECT_EQ(with_ecn.unroutable_packets, 0u);
+
+  ContentionResult without_ecn = run(false);
+  EXPECT_EQ(without_ecn.bottleneck.ecn_marked_packets, 0u);
+  EXPECT_GT(without_ecn.flows[0].retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// S2: flow-id churn — teardown must leave no demux entries, no routes, and
+// recycled ids must not misdeliver (Demux DCHECKs on live re-registration).
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, FlowChurnReusesIdsWithoutLeaks) {
+  EventLoop loop;
+  Rng rng(3);
+  TopologySpec spec;
+  spec.host_pairs = 1;
+  spec.bottleneck_rate = DataRate::Mbps(50);
+  Network net(&loop, &rng, spec);
+  Network::Attachment snd = net.sender(0);
+  Network::Attachment rcv = net.receiver(0);
+
+  constexpr int kRounds = 12;
+  constexpr int kFlowsPerRound = 8;
+  uint64_t max_id_seen = 0;
+  SimTime now = SimTime::Zero();
+  for (int round = 0; round < kRounds; ++round) {
+    struct Live {
+      uint64_t id;
+      std::unique_ptr<TcpSocket> sender;
+      std::unique_ptr<TcpSocket> receiver;
+      std::unique_ptr<SinkApp> reader;
+    };
+    std::vector<Live> live;
+    for (int i = 0; i < kFlowsPerRound; ++i) {
+      Live f;
+      f.id = net.AllocateFlowId();
+      max_id_seen = std::max(max_id_seen, f.id);
+      net.RouteFlow(f.id, 0);
+      TcpSocket::Config config;
+      f.sender = std::make_unique<TcpSocket>(&loop, rng.Fork(), config, f.id, snd.tx, snd.rx);
+      f.receiver = std::make_unique<TcpSocket>(&loop, rng.Fork(), config, f.id, rcv.tx, rcv.rx);
+      f.receiver->Listen();
+      f.sender->Connect();
+      live.push_back(std::move(f));
+    }
+    EXPECT_EQ(snd.rx->size(), static_cast<size_t>(kFlowsPerRound));
+    EXPECT_EQ(rcv.rx->size(), static_cast<size_t>(kFlowsPerRound));
+
+    now += TimeDelta::FromMillis(500);
+    loop.RunUntil(now);
+    for (Live& f : live) {
+      ASSERT_TRUE(f.sender->established());
+      f.sender->Write(20000);
+      f.sender->Close();
+      f.reader = std::make_unique<SinkApp>(f.receiver.get());
+      f.reader->Start();
+    }
+    now += TimeDelta::FromSecondsInt(5);
+    loop.RunUntil(now);
+    for (Live& f : live) {
+      EXPECT_TRUE(f.sender->fin_acked());
+      EXPECT_EQ(f.receiver->app_bytes_read(), 20000u);
+    }
+
+    // Teardown in the documented order: destroy endpoints (unregisters),
+    // unroute, drain the loop, then release ids for reuse.
+    std::vector<uint64_t> ids;
+    for (Live& f : live) {
+      ids.push_back(f.id);
+    }
+    live.clear();
+    for (uint64_t id : ids) {
+      net.UnrouteFlow(id, 0);
+    }
+    now += TimeDelta::FromSecondsInt(2);
+    loop.RunUntil(now);
+    for (uint64_t id : ids) {
+      net.ReleaseFlowId(id);
+    }
+    EXPECT_EQ(snd.rx->size(), 0u);
+    EXPECT_EQ(rcv.rx->size(), 0u);
+    EXPECT_EQ(net.forward_router(1).route_count(), 0u);
+    EXPECT_EQ(net.reverse_router(0).route_count(), 0u);
+  }
+
+  // Ids were recycled: 12 rounds x 8 flows never needed more than one
+  // round's worth of distinct ids.
+  EXPECT_LE(max_id_seen, static_cast<uint64_t>(kFlowsPerRound));
+  // Nothing was misdelivered or stranded anywhere in the topology.
+  EXPECT_EQ(net.TotalUnroutablePackets(), 0u);
+  EXPECT_EQ(snd.rx->unroutable_packets(), 0u);
+  EXPECT_EQ(rcv.rx->unroutable_packets(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross traffic + determinism
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, CrossTrafficDeliversOnEveryHop) {
+  ContentionConfig cfg;
+  cfg.topo.shape = TopologyShape::kParkingLot;
+  cfg.topo.hops = 2;
+  cfg.topo.host_pairs = 1;
+  cfg.flows = 1;
+  cfg.cross.iperf_flows = 1;
+  cfg.cross.onoff_flows = 1;
+  cfg.duration_s = 6.0;
+  cfg.warmup_s = 1.0;
+  ContentionResult result = RunContentionExperiment(cfg);
+  EXPECT_EQ(result.cross_flows, 4u);  // 2 per hop x 2 hops
+  EXPECT_GT(result.cross_bytes_delivered, 0u);
+  EXPECT_EQ(result.unroutable_packets, 0u);
+  // The foreground flow still makes progress under contention.
+  EXPECT_GT(result.flows[0].goodput_mbps, 0.5);
+}
+
+TEST(TopologyTest, SeededContentionRunsAreIdentical) {
+  ContentionConfig cfg;
+  cfg.topo.host_pairs = 4;
+  cfg.topo.qdisc = QdiscType::kFqCoDel;
+  cfg.flows = 4;
+  cfg.cross.iperf_flows = 1;
+  cfg.cross.onoff_flows = 2;
+  cfg.element_on_first = true;
+  cfg.duration_s = 5.0;
+  cfg.warmup_s = 1.0;
+  cfg.seed = 77;
+
+  ContentionResult a = RunContentionExperiment(cfg);
+  ContentionResult b = RunContentionExperiment(cfg);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].goodput_mbps, b.flows[i].goodput_mbps);
+    EXPECT_EQ(a.flows[i].e2e_delay_s, b.flows[i].e2e_delay_s);
+    EXPECT_EQ(a.flows[i].retransmits, b.flows[i].retransmits);
+  }
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.forwarded_packets, b.forwarded_packets);
+  EXPECT_EQ(a.cross_bytes_delivered, b.cross_bytes_delivered);
+  EXPECT_EQ(a.processed_events, b.processed_events);
+  EXPECT_EQ(a.sender_accuracy.accuracy, b.sender_accuracy.accuracy);
+  EXPECT_EQ(a.receiver_accuracy.accuracy, b.receiver_accuracy.accuracy);
+}
+
+TEST(JainIndexTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0, 1.0, 1.0, 1.0}), 1.0);
+  // One of two flows starved: (1)^2 / (2 * 1) = 0.5.
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace element
