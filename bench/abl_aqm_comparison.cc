@@ -50,8 +50,8 @@ CellResult RunCell(uint64_t seed, QdiscType qdisc, int flows) {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = SimTime::FromNanos(3'000'000'000LL);
     p.tracer = std::make_unique<GroundTruthTracer>(tcfg);
-    p.flow.sender->set_observer(p.tracer.get());
-    p.flow.receiver->set_observer(p.tracer.get());
+    p.flow.sender->telemetry().AttachSink(p.tracer.get());
+    p.flow.receiver->telemetry().AttachSink(p.tracer.get());
     p.sink = std::make_unique<RawTcpSink>(p.flow.sender);
     p.app = std::make_unique<IperfApp>(&bed.loop(), p.sink.get());
     p.reader = std::make_unique<SinkApp>(p.flow.receiver);

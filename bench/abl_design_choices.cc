@@ -51,8 +51,8 @@ MinRun RunMinimized(uint64_t seed, const MinimizerParams& params) {
   GroundTruthTracer::Config tcfg;
   tcfg.record_from = SimTime::FromNanos(5'000'000'000LL);
   GroundTruthTracer tracer(tcfg);
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   InterposedSink sink(&bed.loop(), flow.sender, false, params);
   IperfApp app(&bed.loop(), &sink);
   SinkApp reader(flow.receiver);
@@ -123,8 +123,8 @@ void AblateAutotune() {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = SimTime::FromNanos(3'000'000'000LL);
     GroundTruthTracer tracer(tcfg);
-    flow.sender->set_observer(&tracer);
-    flow.receiver->set_observer(&tracer);
+    flow.sender->telemetry().AttachSink(&tracer);
+    flow.receiver->telemetry().AttachSink(&tracer);
     RawTcpSink sink(flow.sender);
     IperfApp app(&bed.loop(), &sink);
     SinkApp reader(flow.receiver);

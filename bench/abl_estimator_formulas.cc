@@ -28,8 +28,8 @@ FormulaResult RunBoth(uint64_t seed, const PathConfig& path) {
   Testbed bed(seed, path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
 
   SenderDelayEstimator paper_est(SenderDelayEstimator::SentBytesFormula::kAckedPlusUnacked);
   SenderDelayEstimator notsent_est(SenderDelayEstimator::SentBytesFormula::kNotsentBased);

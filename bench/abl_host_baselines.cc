@@ -48,8 +48,8 @@ Result RunOne(uint64_t seed, const char* variant) {
   GroundTruthTracer::Config tcfg;
   tcfg.record_from = SimTime::FromNanos(5'000'000'000LL);
   GroundTruthTracer tracer(tcfg);
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   std::unique_ptr<ByteSink> sink;
   if (std::string(variant) == "element") {
     sink = std::make_unique<InterposedSink>(&bed.loop(), flow.sender, /*is_wireless=*/true);

@@ -36,8 +36,8 @@ Result RunOne(uint64_t seed, size_t fixed_sndbuf, bool use_element) {
   GroundTruthTracer::Config tcfg;
   tcfg.record_from = SimTime::FromNanos(3'000'000'000LL);
   GroundTruthTracer tracer(tcfg);
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   std::unique_ptr<ByteSink> sink;
   if (use_element) {
     sink = std::make_unique<InterposedSink>(&bed.loop(), flow.sender);

@@ -53,8 +53,8 @@ Row RunOne(uint64_t seed, const std::string& protocol) {
   for (Bg& bg : bgs) {
     bg.flow = bed.CreateFlow(TcpSocket::Config{});
     bg.tracer = std::make_unique<GroundTruthTracer>();
-    bg.flow.sender->set_observer(bg.tracer.get());
-    bg.flow.receiver->set_observer(bg.tracer.get());
+    bg.flow.sender->telemetry().AttachSink(bg.tracer.get());
+    bg.flow.receiver->telemetry().AttachSink(bg.tracer.get());
     bg.sink = std::make_unique<RawTcpSink>(bg.flow.sender);
     bg.app = std::make_unique<IperfApp>(&bed.loop(), bg.sink.get());
     bg.reader = std::make_unique<SinkApp>(bg.flow.receiver);
@@ -78,8 +78,8 @@ Row RunOne(uint64_t seed, const std::string& protocol) {
   } else {
     em_flow = bed.CreateFlow(TcpSocket::Config{});
     em_tracer = std::make_unique<GroundTruthTracer>();
-    em_flow.sender->set_observer(em_tracer.get());
-    em_flow.receiver->set_observer(em_tracer.get());
+    em_flow.sender->telemetry().AttachSink(em_tracer.get());
+    em_flow.receiver->telemetry().AttachSink(em_tracer.get());
     em_sink = std::make_unique<InterposedSink>(&bed.loop(), em_flow.sender);
     em_app = std::make_unique<IperfApp>(&bed.loop(), em_sink.get());
     em_reader = std::make_unique<SinkApp>(em_flow.receiver);

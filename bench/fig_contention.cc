@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       std::snprintf(snd, sizeof(snd), "%.1f", delays.sender_s * 1e3);
       std::snprintf(net, sizeof(net), "%.1f", delays.network_s * 1e3);
       std::snprintf(rcv, sizeof(rcv), "%.1f", delays.receiver_s * 1e3);
-      std::snprintf(gp, sizeof(gp), "%.2f", result.goodput_mbps.mean() *
+      std::snprintf(gp, sizeof(gp), "%.2f", result.metrics.StatsOrEmpty("goodput_mbps").mean() *
                                                 static_cast<double>(result.flows.size()));
       std::snprintf(jain, sizeof(jain), "%.3f", result.jain_fairness);
       std::snprintf(acc_s, sizeof(acc_s), "%.3f", result.accuracy.sender.accuracy);

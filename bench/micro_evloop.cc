@@ -26,7 +26,7 @@
 
 #include "src/common/time.h"
 #include "src/evloop/event_loop.h"
-#include "src/runner/json.h"
+#include "src/common/json.h"
 #include "src/tcpsim/testbed.h"
 
 namespace element {

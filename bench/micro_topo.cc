@@ -23,7 +23,7 @@
 #include <sstream>
 #include <string>
 
-#include "src/runner/json.h"
+#include "src/common/json.h"
 #include "src/topo/contention.h"
 #include "src/topo/router.h"
 

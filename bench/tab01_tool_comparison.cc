@@ -32,8 +32,8 @@ int main() {
   // Bulk flow with ground truth + ELEMENT estimators (minimization off).
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;
   ElementSocket em_snd(&bed.loop(), flow.sender, opt);

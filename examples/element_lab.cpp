@@ -99,8 +99,8 @@ int CmdMeasure(const Flags& flags) {
   cfg.congestion_control = flags.GetString("cc", "cubic");
   Testbed::Flow flow = bed.CreateFlow(cfg);
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;
   ElementSocket em_snd(&bed.loop(), flow.sender, opt);
@@ -161,8 +161,8 @@ int CmdMinimize(const Flags& flags) {
       cfg.congestion_control = flags.GetString("cc", "cubic");
       p.flow = bed.CreateFlow(cfg);
       p.tracer = std::make_unique<GroundTruthTracer>();
-      p.flow.sender->set_observer(p.tracer.get());
-      p.flow.receiver->set_observer(p.tracer.get());
+      p.flow.sender->telemetry().AttachSink(p.tracer.get());
+      p.flow.receiver->telemetry().AttachSink(p.tracer.get());
       if (i == 0 && with_element) {
         p.sink = std::make_unique<InterposedSink>(&bed.loop(), p.flow.sender,
                                                   flags.GetBool("wireless"));
@@ -195,8 +195,8 @@ int CmdProbe(const Flags& flags) {
   Testbed bed(static_cast<uint64_t>(flags.GetInt("seed", 1)), path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;
   ElementSocket em(&bed.loop(), flow.sender, opt);

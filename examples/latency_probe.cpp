@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   // The bulk flow, measured by ELEMENT (diagnosis only, no minimization).
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;
   ElementSocket em(&bed.loop(), flow.sender, opt);

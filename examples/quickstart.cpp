@@ -39,8 +39,8 @@ RunResult RunFlow(bool with_element) {
   Testbed::Flow flow = bed.CreateFlow(socket_config);
 
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
 
   std::unique_ptr<ByteSink> sink;
   if (with_element) {

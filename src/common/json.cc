@@ -1,4 +1,4 @@
-#include "src/runner/json.h"
+#include "src/common/json.h"
 
 #include <cctype>
 #include <cmath>

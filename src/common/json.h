@@ -1,13 +1,13 @@
-// Minimal JSON support for the fleet runner: a recursive-descent parser into
-// a tagged Value tree (objects, arrays, strings, numbers, booleans, null) and
-// a deterministic writer. No external dependency; the subset is exactly what
-// scenario suites and result reports need. Object keys are kept in sorted
-// order, so serializing the same data always yields the same bytes — the
-// property the fleet's "byte-identical aggregate across --jobs" contract
-// rests on.
+// Minimal JSON support shared by the whole simulator (scenario suites, fleet
+// reports, trace export, telemetry snapshots): a recursive-descent parser
+// into a tagged Value tree (objects, arrays, strings, numbers, booleans,
+// null) and a deterministic writer. No external dependency. Object keys are
+// kept in sorted order, so serializing the same data always yields the same
+// bytes — the property the fleet's "byte-identical aggregate across --jobs"
+// contract rests on.
 
-#ifndef ELEMENT_SRC_RUNNER_JSON_H_
-#define ELEMENT_SRC_RUNNER_JSON_H_
+#ifndef ELEMENT_SRC_COMMON_JSON_H_
+#define ELEMENT_SRC_COMMON_JSON_H_
 
 #include <cstdint>
 #include <map>
@@ -83,4 +83,4 @@ std::string FormatNumber(double v);
 }  // namespace json
 }  // namespace element
 
-#endif  // ELEMENT_SRC_RUNNER_JSON_H_
+#endif  // ELEMENT_SRC_COMMON_JSON_H_

@@ -59,8 +59,16 @@ void SenderDelayEstimator::OnTcpInfoSample(const TcpInfoData& info, SimTime t) {
     latest_delay_ = d;
     has_estimate_ = true;
     double ds = d.ToSeconds();
-    samples_.Add(ds);
+    if (bounded_) {
+      sketch_.Add(ds);
+    } else {
+      samples_.Add(ds);
+    }
     series_.Add(t, ds);
+    if (telemetry_.recording()) {
+      telemetry_.EmitAlways(telemetry::TraceRecord::Delay(telemetry_.flow_id(), t, ds, 0.0,
+                                                          0.0, telemetry::kFlagEstimate));
+    }
     if (sink_) {
       DelayReport report;
       report.t = t;
@@ -101,8 +109,16 @@ void ReceiverDelayEstimator::OnAppReceive(uint64_t cumulative_bytes, SimTime t,
     latest_delay_ = d;
     has_estimate_ = true;
     double ds = d.ToSeconds();
-    samples_.Add(ds);
+    if (bounded_) {
+      sketch_.Add(ds);
+    } else {
+      samples_.Add(ds);
+    }
     series_.Add(t, ds);
+    if (telemetry_.recording()) {
+      telemetry_.EmitAlways(telemetry::TraceRecord::Delay(telemetry_.flow_id(), t, 0.0, 0.0,
+                                                          ds, telemetry::kFlagEstimate));
+    }
     if (sink_) {
       DelayReport report;
       report.t = t;

@@ -33,6 +33,7 @@ void DelayEventMonitor::OnReport(const DelayReport& report) {
       fire(Event::Kind::kDelayExceeded);
     } else if (!delay_armed_ && d < thr * thresholds_.rearm_fraction) {
       delay_armed_ = true;
+      ++delay_recoveries_;
       fire(Event::Kind::kDelayRecovered);
     }
   }

@@ -8,9 +8,11 @@
 #define ELEMENT_SRC_ELEMENT_DELAY_EVENT_MONITOR_H_
 
 #include <functional>
+#include <string>
 
 #include "src/common/time.h"
 #include "src/element/delay_estimator.h"
+#include "src/telemetry/metric_registry.h"
 
 namespace element {
 
@@ -53,7 +55,16 @@ class DelayEventMonitor {
 
   uint64_t delay_events() const { return delay_events_; }
   uint64_t jitter_events() const { return jitter_events_; }
+  uint64_t delay_recoveries() const { return delay_recoveries_; }
   TimeDelta ewma_delay() const { return TimeDelta::FromSeconds(ewma_s_); }
+
+  // Mirrors the event counters into `registry` under `prefix` (end-of-run
+  // publication, like the qdisc/router counters).
+  void PublishMetrics(telemetry::MetricRegistry* registry, const std::string& prefix) const {
+    *registry->Counter(prefix + "delay_events") += delay_events_;
+    *registry->Counter(prefix + "jitter_events") += jitter_events_;
+    *registry->Counter(prefix + "delay_recoveries") += delay_recoveries_;
+  }
 
  private:
   Thresholds thresholds_;
@@ -64,6 +75,7 @@ class DelayEventMonitor {
   bool jitter_armed_ = true;
   uint64_t delay_events_ = 0;
   uint64_t jitter_events_ = 0;
+  uint64_t delay_recoveries_ = 0;
 };
 
 }  // namespace element

@@ -15,6 +15,12 @@ ElementSocket::ElementSocket(EventLoop* loop, TcpSocket* socket, const Options& 
   tracker_->set_path_estimator(&path_est_);
   tracker_->Start();
 
+  // Estimates ride the same spine as the socket's stack records, so a
+  // kDelaySample (flagged kFlagEstimate) can be lined up against the
+  // ground-truth records of the same flow in one trace.
+  sender_est_.BindTelemetry(socket->telemetry().spine(), socket->flow_id());
+  receiver_est_.BindTelemetry(socket->telemetry().spine(), socket->flow_id());
+
   if (options.enable_latency_minimization) {
     if (options.controller_factory) {
       controller_ = options.controller_factory(loop, socket);

@@ -56,12 +56,12 @@ CoDel::CoDel(const CoDelParams& params) : params_(params), state_(params) {}
 bool CoDel::Enqueue(Packet pkt, SimTime now) {
   ScopedConservationAudit audit(this);
   if (queue_.size() >= params_.limit_packets) {
-    CountDropPreQueue();
+    CountDropPreQueue(pkt, now);
     return false;
   }
   pkt.enqueued = now;
   bytes_ += pkt.size_bytes;
-  CountEnqueue(pkt);
+  CountEnqueue(pkt, now);
   queue_.push_back(std::move(pkt));
   return true;
 }
@@ -74,14 +74,14 @@ std::optional<Packet> CoDel::Dequeue(SimTime now) {
     bytes_ -= pkt.size_bytes;
     TimeDelta sojourn = now - pkt.enqueued;
     if (state_.ShouldDrop(sojourn, now, static_cast<size_t>(bytes_))) {
-      if (MarkInsteadOfDrop(pkt)) {
-        CountDequeue(pkt);
+      if (MarkInsteadOfDrop(pkt, now)) {
+        CountDequeue(pkt, now);
         return pkt;
       }
-      CountDropFromQueue(pkt);
+      CountDropFromQueue(pkt, now);
       continue;
     }
-    CountDequeue(pkt);
+    CountDequeue(pkt, now);
     return pkt;
   }
   return std::nullopt;

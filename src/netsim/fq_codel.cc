@@ -15,7 +15,7 @@ size_t FqCoDel::BucketFor(const Packet& pkt) const {
   return static_cast<size_t>(h % params_.num_buckets);
 }
 
-void FqCoDel::DropFromLongestFlow() {
+void FqCoDel::DropFromLongestFlow(SimTime now) {
   size_t victim = 0;
   int64_t worst = -1;
   for (size_t i = 0; i < buckets_.size(); ++i) {
@@ -33,16 +33,16 @@ void FqCoDel::DropFromLongestFlow() {
   fq.bytes -= head.size_bytes;
   total_bytes_ -= head.size_bytes;
   --total_packets_;
-  CountDropFromQueue(head);
+  CountDropFromQueue(head, now);
   fq.packets.pop_front();
 }
 
 bool FqCoDel::Enqueue(Packet pkt, SimTime now) {
   ScopedConservationAudit audit(this);
   if (total_packets_ >= params_.limit_packets) {
-    DropFromLongestFlow();
+    DropFromLongestFlow(now);
     if (total_packets_ >= params_.limit_packets) {
-      CountDropPreQueue();
+      CountDropPreQueue(pkt, now);
       return false;
     }
   }
@@ -55,7 +55,7 @@ bool FqCoDel::Enqueue(Packet pkt, SimTime now) {
   fq.bytes += pkt.size_bytes;
   total_bytes_ += pkt.size_bytes;
   ++total_packets_;
-  CountEnqueue(pkt);
+  CountEnqueue(pkt, now);
   fq.packets.push_back(std::move(pkt));
   if (!fq.active) {
     fq.active = true;
@@ -74,14 +74,14 @@ std::optional<Packet> FqCoDel::DequeueFromFlow(FlowQueue* fq, SimTime now) {
     --total_packets_;
     TimeDelta sojourn = now - pkt.enqueued;
     if (fq->codel->ShouldDrop(sojourn, now, static_cast<size_t>(fq->bytes))) {
-      if (MarkInsteadOfDrop(pkt)) {
-        CountDequeue(pkt);
+      if (MarkInsteadOfDrop(pkt, now)) {
+        CountDequeue(pkt, now);
         return pkt;
       }
-      CountDropFromQueue(pkt);
+      CountDropFromQueue(pkt, now);
       continue;
     }
-    CountDequeue(pkt);
+    CountDequeue(pkt, now);
     return pkt;
   }
   return std::nullopt;

@@ -43,7 +43,7 @@ class FqCoDel : public Qdisc {
   size_t BucketFor(const Packet& pkt) const;
   // Runs CoDel on the head of `fq`; returns a surviving packet if any.
   std::optional<Packet> DequeueFromFlow(FlowQueue* fq, SimTime now);
-  void DropFromLongestFlow();
+  void DropFromLongestFlow(SimTime now);
 
   FqCoDelParams params_;
   std::vector<FlowQueue> buckets_;

@@ -9,19 +9,19 @@ PfifoFast::PfifoFast(size_t limit_packets) : limit_(limit_packets) {}
 bool PfifoFast::Enqueue(Packet pkt, SimTime now) {
   ScopedConservationAudit audit(this);
   if (total_packets_ >= limit_) {
-    CountDropPreQueue();
+    CountDropPreQueue(pkt, now);
     return false;
   }
   pkt.enqueued = now;
   size_t band = pkt.priority_band < kBands ? pkt.priority_band : kBands - 1;
   total_bytes_ += pkt.size_bytes;
   ++total_packets_;
-  CountEnqueue(pkt);
+  CountEnqueue(pkt, now);
   bands_[band].push_back(std::move(pkt));
   return true;
 }
 
-std::optional<Packet> PfifoFast::Dequeue(SimTime /*now*/) {
+std::optional<Packet> PfifoFast::Dequeue(SimTime now) {
   ScopedConservationAudit audit(this);
   for (auto& band : bands_) {
     if (!band.empty()) {
@@ -29,7 +29,7 @@ std::optional<Packet> PfifoFast::Dequeue(SimTime /*now*/) {
       band.pop_front();
       --total_packets_;
       total_bytes_ -= pkt.size_bytes;
-      CountDequeue(pkt);
+      CountDequeue(pkt, now);
       return pkt;
     }
   }

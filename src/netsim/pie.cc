@@ -62,7 +62,7 @@ bool Pie::Enqueue(Packet pkt, SimTime now) {
   ScopedConservationAudit audit(this);
   MaybeUpdateProbability(now);
   if (queue_.size() >= params_.limit_packets) {
-    CountDropPreQueue();
+    CountDropPreQueue(pkt, now);
     return false;
   }
   bool should_drop = false;
@@ -75,14 +75,14 @@ bool Pie::Enqueue(Packet pkt, SimTime now) {
     }
   }
   if (should_drop) {
-    if (!MarkInsteadOfDrop(pkt)) {
-      CountDropPreQueue();
+    if (!MarkInsteadOfDrop(pkt, now)) {
+      CountDropPreQueue(pkt, now);
       return false;
     }
   }
   pkt.enqueued = now;
   bytes_ += pkt.size_bytes;
-  CountEnqueue(pkt);
+  CountEnqueue(pkt, now);
   queue_.push_back(std::move(pkt));
   return true;
 }
@@ -112,7 +112,7 @@ std::optional<Packet> Pie::Dequeue(SimTime now) {
   last_dequeue_ = now;
   have_last_dequeue_ = true;
 
-  CountDequeue(pkt);
+  CountDequeue(pkt, now);
   return pkt;
 }
 

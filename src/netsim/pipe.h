@@ -40,6 +40,19 @@ class Pipe : public PacketSink {
   LinkModel& link_model() { return *link_; }
   const PipeStats& stats() const { return stats_; }
 
+  // Binds this pipe's qdisc to the run's spine under hop id `source_id`.
+  void BindTelemetry(telemetry::TelemetrySpine* spine, uint16_t source_id) {
+    qdisc_->BindTelemetry(spine, source_id);
+  }
+  // Mirrors pipe + qdisc counters into `registry` under `prefix`
+  // (end-of-run publication; never touched on the packet path).
+  void PublishMetrics(telemetry::MetricRegistry* registry, const std::string& prefix) const {
+    *registry->Counter(prefix + "delivered_packets") += stats_.delivered_packets;
+    *registry->Counter(prefix + "delivered_bytes") += stats_.delivered_bytes;
+    *registry->Counter(prefix + "wire_dropped_packets") += stats_.wire_dropped_packets;
+    qdisc_->PublishMetrics(registry, prefix + "qdisc.");
+  }
+
   // Queueing + serialization delay a new arrival would currently see.
   TimeDelta CurrentBacklogDelay();
 
@@ -107,6 +120,12 @@ class DuplexPath {
   Pipe& forward() { return *forward_; }
   // server -> client direction.
   Pipe& reverse() { return *reverse_; }
+
+  // Hop ids: forward qdisc = 0, reverse qdisc = 1.
+  void BindTelemetry(telemetry::TelemetrySpine* spine) {
+    forward_->BindTelemetry(spine, 0);
+    reverse_->BindTelemetry(spine, 1);
+  }
   // Endpoints at the server register here to receive forward-direction packets.
   Demux& server_demux() { return server_demux_; }
   // Endpoints at the client register here to receive reverse-direction packets.

@@ -12,6 +12,8 @@
 #include "src/common/check.h"
 #include "src/common/time.h"
 #include "src/netsim/packet.h"
+#include "src/telemetry/metric_registry.h"
+#include "src/telemetry/spine.h"
 
 namespace element {
 
@@ -47,6 +49,27 @@ class Qdisc {
   virtual std::string name() const = 0;
 
   const QdiscStats& stats() const { return stats_; }
+
+  // Routes enqueue/drop/mark events into the run's telemetry spine, tagged
+  // with `source_id` (the hop index) so multi-hop topologies stay
+  // distinguishable. Unbound qdiscs skip all telemetry work (one compare in
+  // the Count* helpers). Virtual so decorators forward to the discipline
+  // that actually counts.
+  virtual void BindTelemetry(telemetry::TelemetrySpine* spine, uint16_t source_id) {
+    spine_ = spine;
+    source_id_ = source_id;
+  }
+
+  // Mirrors the counters into `registry` under `prefix` (e.g. "qdisc.0."),
+  // the end-of-run publication path the runner aggregates.
+  void PublishMetrics(telemetry::MetricRegistry* registry, const std::string& prefix) const {
+    *registry->Counter(prefix + "enqueued_packets") += stats_.enqueued_packets;
+    *registry->Counter(prefix + "dequeued_packets") += stats_.dequeued_packets;
+    *registry->Counter(prefix + "dropped_packets") += stats_.dropped_packets;
+    *registry->Counter(prefix + "ecn_marked_packets") += stats_.ecn_marked_packets;
+    *registry->Counter(prefix + "enqueued_bytes") += stats_.enqueued_bytes;
+    *registry->Counter(prefix + "dequeued_bytes") += stats_.dequeued_bytes;
+  }
 
   // When enabled, AQM "drop" decisions on ECN-capable packets become CE marks.
   void set_ecn_enabled(bool enabled) { ecn_enabled_ = enabled; }
@@ -102,34 +125,40 @@ class Qdisc {
   };
 
  protected:
-  void CountEnqueue(const Packet& pkt) {
+  void CountEnqueue(const Packet& pkt, SimTime now) {
     ++stats_.enqueued_packets;
     stats_.enqueued_bytes += pkt.size_bytes;
+    EmitRecord(telemetry::RecordKind::kQdiscEnqueue, pkt, now, 0);
   }
-  void CountDequeue(const Packet& pkt) {
+  void CountDequeue(const Packet& pkt, SimTime /*now*/) {
     ++stats_.dequeued_packets;
     stats_.dequeued_bytes += pkt.size_bytes;
   }
   // Drop of a packet that was never admitted (tail/early drop at Enqueue).
-  void CountDropPreQueue() {
+  void CountDropPreQueue(const Packet& pkt, SimTime now) {
     ++stats_.dropped_packets;
     ++stats_.dropped_pre_queue_packets;
+    EmitRecord(telemetry::RecordKind::kQdiscDrop, pkt, now, 0);
   }
   // Drop of an admitted packet (AQM head drop at Dequeue, overflow eviction).
-  void CountDropFromQueue(const Packet& pkt) {
+  void CountDropFromQueue(const Packet& pkt, SimTime now) {
     ++stats_.dropped_packets;
     ++stats_.dropped_from_queue_packets;
     stats_.dropped_from_queue_bytes += pkt.size_bytes;
+    EmitRecord(telemetry::RecordKind::kQdiscDrop, pkt, now, telemetry::kFlagFromQueue);
   }
 
-  void CountMark() { ++stats_.ecn_marked_packets; }
+  void CountMark(const Packet& pkt, SimTime now) {
+    ++stats_.ecn_marked_packets;
+    EmitRecord(telemetry::RecordKind::kQdiscMark, pkt, now, 0);
+  }
 
   // AQM helper: marks the packet if ECN applies (returns true = keep packet),
   // otherwise reports that the caller should drop it (returns false).
-  bool MarkInsteadOfDrop(Packet& pkt) {
+  bool MarkInsteadOfDrop(Packet& pkt, SimTime now) {
     if (ecn_enabled_ && pkt.ecn_capable && !pkt.ecn_marked) {
       pkt.ecn_marked = true;
-      CountMark();
+      CountMark(pkt, now);
       return true;
     }
     return false;
@@ -137,6 +166,24 @@ class Qdisc {
 
   QdiscStats stats_;
   bool ecn_enabled_ = false;
+
+ private:
+  void EmitRecord(telemetry::RecordKind kind, const Packet& pkt, SimTime now, uint8_t flags) {
+    if (spine_ == nullptr || !spine_->recording()) {
+      return;
+    }
+    telemetry::TraceRecord r;
+    r.t = now;
+    r.flow_id = pkt.flow_id;
+    r.kind = kind;
+    r.flags = flags;
+    r.source = source_id_;
+    r.size = pkt.size_bytes;
+    spine_->Dispatch(r);
+  }
+
+  telemetry::TelemetrySpine* spine_ = nullptr;
+  uint16_t source_id_ = 0;
 };
 
 }  // namespace element

@@ -39,14 +39,14 @@ bool Red::Enqueue(Packet pkt, SimTime now) {
                params_.queue_weight * static_cast<double>(queue_.size());
 
   if (queue_.size() >= params_.limit_packets) {
-    CountDropPreQueue();
+    CountDropPreQueue(pkt, now);
     count_since_drop_ = 0;
     return false;
   }
   double p = CurrentDropProbability();
   if (p > 0.0 && rng_.Bernoulli(p)) {
-    if (!MarkInsteadOfDrop(pkt)) {
-      CountDropPreQueue();
+    if (!MarkInsteadOfDrop(pkt, now)) {
+      CountDropPreQueue(pkt, now);
       count_since_drop_ = 0;
       return false;
     }
@@ -57,7 +57,7 @@ bool Red::Enqueue(Packet pkt, SimTime now) {
 
   pkt.enqueued = now;
   bytes_ += pkt.size_bytes;
-  CountEnqueue(pkt);
+  CountEnqueue(pkt, now);
   queue_.push_back(std::move(pkt));
   return true;
 }
@@ -78,7 +78,7 @@ std::optional<Packet> Red::Dequeue(SimTime now) {
     idle_ = true;
     idle_since_ = now;
   }
-  CountDequeue(pkt);
+  CountDequeue(pkt, now);
   return pkt;
 }
 

@@ -34,8 +34,8 @@ std::vector<FlowResult> RunLegacyExperiment(const LegacyExperiment& cfg) {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = warmup;
     pf.tracer = std::make_unique<GroundTruthTracer>(tcfg);
-    pf.flow.sender->set_observer(pf.tracer.get());
-    pf.flow.receiver->set_observer(pf.tracer.get());
+    pf.flow.sender->telemetry().AttachSink(pf.tracer.get());
+    pf.flow.receiver->telemetry().AttachSink(pf.tracer.get());
     if (i == 0 && cfg.element_on_first) {
       pf.sink = std::make_unique<InterposedSink>(&bed.loop(), pf.flow.sender,
                                                  cfg.element_wireless);
@@ -106,8 +106,8 @@ AccuracyRun RunAccuracyExperiment(uint64_t seed, const PathConfig& path, double 
   Testbed bed(seed, path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
 
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;
@@ -158,6 +158,37 @@ AccuracyRun RunAccuracyExperiment(uint64_t seed, const PathConfig& path, double 
 
 namespace {
 
+// Folds per-flow rows into the result's registry under the aggregate's
+// canonical names — the one place run output meets the merge contract.
+void PublishFlowRows(const std::vector<FlowResult>& flows, telemetry::MetricRegistry* metrics) {
+  Histogram* sender = metrics->Hist("sender_delay_s");
+  Histogram* network = metrics->Hist("network_delay_s");
+  Histogram* receiver = metrics->Hist("receiver_delay_s");
+  Histogram* e2e = metrics->Hist("e2e_delay_s");
+  RunningStats* goodput = metrics->Stats("goodput_mbps");
+  uint64_t* retransmits = metrics->Counter("retransmits");
+  for (const FlowResult& f : flows) {
+    sender->Add(f.sender_delay_s);
+    network->Add(f.network_delay_s);
+    receiver->Add(f.receiver_delay_s);
+    e2e->Add(f.e2e_delay_s);
+    goodput->Add(f.goodput_mbps);
+    *retransmits += f.retransmits;
+  }
+}
+
+// Accuracy runs contribute one sample per estimate (absolute error).
+void PublishAccuracyErrors(const AccuracyRun& accuracy, telemetry::MetricRegistry* metrics) {
+  Histogram* sender_err = metrics->Hist("sender_err_s");
+  Histogram* receiver_err = metrics->Hist("receiver_err_s");
+  for (double e : accuracy.sender.errors.samples()) {
+    sender_err->Add(e);
+  }
+  for (double e : accuracy.receiver.errors.samples()) {
+    receiver_err->Add(e);
+  }
+}
+
 void FillLegacyResult(const ScenarioSpec& spec, ScenarioResult* result) {
   LegacyExperiment cfg;
   cfg.path = spec.BuildPath();
@@ -170,14 +201,7 @@ void FillLegacyResult(const ScenarioSpec& spec, ScenarioResult* result) {
   cfg.warmup_s = spec.warmup_s;
   cfg.seed = spec.seed;
   result->flows = RunLegacyExperiment(cfg);
-  for (const FlowResult& f : result->flows) {
-    result->sender_delay_s.Add(f.sender_delay_s);
-    result->network_delay_s.Add(f.network_delay_s);
-    result->receiver_delay_s.Add(f.receiver_delay_s);
-    result->e2e_delay_s.Add(f.e2e_delay_s);
-    result->goodput_mbps.Add(f.goodput_mbps);
-    result->retransmits += f.retransmits;
-  }
+  PublishFlowRows(result->flows, &result->metrics);
 }
 
 void FillAccuracyResult(const ScenarioSpec& spec, ScenarioResult* result) {
@@ -186,18 +210,13 @@ void FillAccuracyResult(const ScenarioSpec& spec, ScenarioResult* result) {
       RunAccuracyExperiment(spec.seed, spec.BuildPath(), spec.duration_s,
                             TimeDelta::FromNanos(period_ns), spec.background_flows);
   result->has_accuracy = true;
-  for (double e : result->accuracy.sender.errors.samples()) {
-    result->sender_err_s.Add(e);
-  }
-  for (double e : result->accuracy.receiver.errors.samples()) {
-    result->receiver_err_s.Add(e);
-  }
+  PublishAccuracyErrors(result->accuracy, &result->metrics);
   const GroundTruthTracer::Composition& c = result->accuracy.composition;
-  result->sender_delay_s.Add(c.sender_s);
-  result->network_delay_s.Add(c.network_s);
-  result->receiver_delay_s.Add(c.receiver_s);
-  result->e2e_delay_s.Add(c.sender_s + c.network_s + c.receiver_s);
-  result->goodput_mbps.Add(result->accuracy.goodput_mbps);
+  result->metrics.Hist("sender_delay_s")->Add(c.sender_s);
+  result->metrics.Hist("network_delay_s")->Add(c.network_s);
+  result->metrics.Hist("receiver_delay_s")->Add(c.receiver_s);
+  result->metrics.Hist("e2e_delay_s")->Add(c.sender_s + c.network_s + c.receiver_s);
+  result->metrics.Stats("goodput_mbps")->Add(result->accuracy.goodput_mbps);
 }
 
 void FillContentionResult(const ScenarioSpec& spec, ScenarioResult* result) {
@@ -234,14 +253,9 @@ void FillContentionResult(const ScenarioSpec& spec, ScenarioResult* result) {
     r.sender_delay_stdev_s = f.sender_delay_stdev_s;
     r.receiver_delay_stdev_s = f.receiver_delay_stdev_s;
     r.retransmits = f.retransmits;
-    result->sender_delay_s.Add(r.sender_delay_s);
-    result->network_delay_s.Add(r.network_delay_s);
-    result->receiver_delay_s.Add(r.receiver_delay_s);
-    result->e2e_delay_s.Add(r.e2e_delay_s);
-    result->goodput_mbps.Add(r.goodput_mbps);
-    result->retransmits += r.retransmits;
     result->flows.push_back(std::move(r));
   }
+  PublishFlowRows(result->flows, &result->metrics);
 
   if (run.has_accuracy) {
     result->has_accuracy = true;
@@ -249,13 +263,11 @@ void FillContentionResult(const ScenarioSpec& spec, ScenarioResult* result) {
     result->accuracy.receiver = run.receiver_accuracy;
     result->accuracy.composition = run.flow0_composition;
     result->accuracy.goodput_mbps = run.flows.empty() ? 0.0 : run.flows.front().goodput_mbps;
-    for (double e : result->accuracy.sender.errors.samples()) {
-      result->sender_err_s.Add(e);
-    }
-    for (double e : result->accuracy.receiver.errors.samples()) {
-      result->receiver_err_s.Add(e);
-    }
+    PublishAccuracyErrors(result->accuracy, &result->metrics);
   }
+  // The contention run's own registry snapshot (topo.* counters, spine
+  // dispatch count) rides along in the same mergeable store.
+  result->metrics.Merge(run.metrics);
 
   result->has_topology = true;
   result->jain_fairness = run.jain_fairness;

@@ -14,6 +14,7 @@
 #include "src/element/estimation_error.h"
 #include "src/runner/scenario.h"
 #include "src/tcpsim/testbed.h"
+#include "src/telemetry/metric_registry.h"
 #include "src/trace/ground_truth.h"
 
 namespace element {
@@ -61,8 +62,8 @@ AccuracyRun RunAccuracyExperiment(uint64_t seed, const PathConfig& path, double 
                                   int background_flows = 0);
 
 // The fleet's unit of work: everything one scenario produced. Raw per-flow
-// rows and accuracy sample sets are kept for figure printing; the histograms
-// are the mergeable summaries the aggregate layer folds together.
+// rows and accuracy sample sets are kept for figure printing; the metric
+// registry holds the mergeable summaries the aggregate layer folds together.
 struct ScenarioResult {
   ScenarioSpec spec;
   bool ok = false;
@@ -73,17 +74,13 @@ struct ScenarioResult {
   bool has_accuracy = false;
   AccuracyRun accuracy;  // accuracy app
 
-  // Mergeable summaries, all in seconds. Legacy runs contribute one sample
-  // per flow (mean delays); accuracy runs contribute one sample per estimate
-  // (absolute error).
-  Histogram sender_delay_s;
-  Histogram network_delay_s;
-  Histogram receiver_delay_s;
-  Histogram e2e_delay_s;
-  Histogram sender_err_s;
-  Histogram receiver_err_s;
-  RunningStats goodput_mbps;
-  uint64_t retransmits = 0;
+  // Mergeable summaries under canonical names (the aggregate's pinned JSON
+  // keys): hists "sender_delay_s", "network_delay_s", "receiver_delay_s",
+  // "e2e_delay_s" (one sample per flow, mean delays, in seconds) and
+  // "sender_err_s"/"receiver_err_s" (one sample per estimate, absolute
+  // error), stats "goodput_mbps", counter "retransmits". Topology runs also
+  // fold in the contention run's "topo.*" counters.
+  telemetry::MetricRegistry metrics;
 
   // Topology runs only (spec.topology != "none"); surfaced in per-scenario
   // result rows, never folded into the aggregate.

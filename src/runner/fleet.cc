@@ -99,30 +99,12 @@ FleetSummary RunFleet(const std::vector<ScenarioSpec>& specs, const FleetOptions
 
 void FleetAggregate::Add(const ScenarioResult& result) {
   ELEMENT_DCHECK(result.ok) << "aggregating a failed scenario: " << result.spec.Id();
-  ++scenarios;
-  flows += result.flows.size();
-  retransmits += result.retransmits;
-  sender_delay_s.Merge(result.sender_delay_s);
-  network_delay_s.Merge(result.network_delay_s);
-  receiver_delay_s.Merge(result.receiver_delay_s);
-  e2e_delay_s.Merge(result.e2e_delay_s);
-  sender_err_s.Merge(result.sender_err_s);
-  receiver_err_s.Merge(result.receiver_err_s);
-  goodput_mbps.Merge(result.goodput_mbps);
+  *metrics.Counter("scenarios") += 1;
+  *metrics.Counter("flows") += result.flows.size();
+  metrics.Merge(result.metrics);
 }
 
-void FleetAggregate::Merge(const FleetAggregate& other) {
-  scenarios += other.scenarios;
-  flows += other.flows;
-  retransmits += other.retransmits;
-  sender_delay_s.Merge(other.sender_delay_s);
-  network_delay_s.Merge(other.network_delay_s);
-  receiver_delay_s.Merge(other.receiver_delay_s);
-  e2e_delay_s.Merge(other.e2e_delay_s);
-  sender_err_s.Merge(other.sender_err_s);
-  receiver_err_s.Merge(other.receiver_err_s);
-  goodput_mbps.Merge(other.goodput_mbps);
-}
+void FleetAggregate::Merge(const FleetAggregate& other) { metrics.Merge(other.metrics); }
 
 FleetAggregate AggregateResults(const std::vector<ScenarioResult>& results) {
   FleetAggregate agg;
@@ -134,51 +116,20 @@ FleetAggregate AggregateResults(const std::vector<ScenarioResult>& results) {
   return agg;
 }
 
-namespace {
-
-json::Value HistogramJson(const Histogram& h) {
-  json::Value obj = json::Value::Object();
-  obj.Set("count", json::Value::Int(static_cast<int64_t>(h.count())));
-  if (h.count() == 0) {
-    return obj;
-  }
-  obj.Set("mean", json::Value::Number(h.mean()));
-  obj.Set("min", json::Value::Number(h.min()));
-  obj.Set("max", json::Value::Number(h.max()));
-  obj.Set("p50", json::Value::Number(h.Quantile(0.50)));
-  obj.Set("p90", json::Value::Number(h.Quantile(0.90)));
-  obj.Set("p95", json::Value::Number(h.Quantile(0.95)));
-  obj.Set("p99", json::Value::Number(h.Quantile(0.99)));
-  return obj;
-}
-
-json::Value StatsJson(const RunningStats& s) {
-  json::Value obj = json::Value::Object();
-  obj.Set("count", json::Value::Int(static_cast<int64_t>(s.count())));
-  if (s.count() == 0) {
-    return obj;
-  }
-  obj.Set("mean", json::Value::Number(s.mean()));
-  obj.Set("stdev", json::Value::Number(s.Stdev()));
-  obj.Set("min", json::Value::Number(s.min()));
-  obj.Set("max", json::Value::Number(s.max()));
-  return obj;
-}
-
-}  // namespace
-
 json::Value FleetAggregate::ToJson() const {
+  using telemetry::HistogramJson;
+  using telemetry::StatsJson;
   json::Value obj = json::Value::Object();
-  obj.Set("scenarios", json::Value::Int(static_cast<int64_t>(scenarios)));
-  obj.Set("flows", json::Value::Int(static_cast<int64_t>(flows)));
-  obj.Set("retransmits", json::Value::Int(static_cast<int64_t>(retransmits)));
-  obj.Set("sender_delay_s", HistogramJson(sender_delay_s));
-  obj.Set("network_delay_s", HistogramJson(network_delay_s));
-  obj.Set("receiver_delay_s", HistogramJson(receiver_delay_s));
-  obj.Set("e2e_delay_s", HistogramJson(e2e_delay_s));
-  obj.Set("sender_err_s", HistogramJson(sender_err_s));
-  obj.Set("receiver_err_s", HistogramJson(receiver_err_s));
-  obj.Set("goodput_mbps", StatsJson(goodput_mbps));
+  obj.Set("scenarios", json::Value::Int(static_cast<int64_t>(scenarios())));
+  obj.Set("flows", json::Value::Int(static_cast<int64_t>(flows())));
+  obj.Set("retransmits", json::Value::Int(static_cast<int64_t>(retransmits())));
+  obj.Set("sender_delay_s", HistogramJson(metrics.HistOrEmpty("sender_delay_s")));
+  obj.Set("network_delay_s", HistogramJson(metrics.HistOrEmpty("network_delay_s")));
+  obj.Set("receiver_delay_s", HistogramJson(metrics.HistOrEmpty("receiver_delay_s")));
+  obj.Set("e2e_delay_s", HistogramJson(metrics.HistOrEmpty("e2e_delay_s")));
+  obj.Set("sender_err_s", HistogramJson(metrics.HistOrEmpty("sender_err_s")));
+  obj.Set("receiver_err_s", HistogramJson(metrics.HistOrEmpty("receiver_err_s")));
+  obj.Set("goodput_mbps", StatsJson(metrics.StatsOrEmpty("goodput_mbps")));
   return obj;
 }
 
@@ -199,13 +150,16 @@ json::Value ResultRowJson(const ScenarioResult& result) {
     row.Set("error", json::Value::Str(result.error));
     return row;
   }
+  using telemetry::HistogramJson;
+  using telemetry::StatsJson;
   row.Set("status", json::Value::Str("ok"));
-  row.Set("goodput_mbps", StatsJson(result.goodput_mbps));
-  row.Set("sender_delay_s", HistogramJson(result.sender_delay_s));
-  row.Set("network_delay_s", HistogramJson(result.network_delay_s));
-  row.Set("receiver_delay_s", HistogramJson(result.receiver_delay_s));
-  row.Set("e2e_delay_s", HistogramJson(result.e2e_delay_s));
-  row.Set("retransmits", json::Value::Int(static_cast<int64_t>(result.retransmits)));
+  row.Set("goodput_mbps", StatsJson(result.metrics.StatsOrEmpty("goodput_mbps")));
+  row.Set("sender_delay_s", HistogramJson(result.metrics.HistOrEmpty("sender_delay_s")));
+  row.Set("network_delay_s", HistogramJson(result.metrics.HistOrEmpty("network_delay_s")));
+  row.Set("receiver_delay_s", HistogramJson(result.metrics.HistOrEmpty("receiver_delay_s")));
+  row.Set("e2e_delay_s", HistogramJson(result.metrics.HistOrEmpty("e2e_delay_s")));
+  row.Set("retransmits",
+          json::Value::Int(static_cast<int64_t>(result.metrics.CounterValue("retransmits"))));
   if (result.has_topology) {
     // Per-row only: the mergeable aggregate's key set is golden-pinned.
     json::Value topo = json::Value::Object();
@@ -222,8 +176,8 @@ json::Value ResultRowJson(const ScenarioResult& result) {
     json::Value acc = json::Value::Object();
     acc.Set("sender_accuracy", json::Value::Number(result.accuracy.sender.accuracy));
     acc.Set("receiver_accuracy", json::Value::Number(result.accuracy.receiver.accuracy));
-    acc.Set("sender_err_s", HistogramJson(result.sender_err_s));
-    acc.Set("receiver_err_s", HistogramJson(result.receiver_err_s));
+    acc.Set("sender_err_s", HistogramJson(result.metrics.HistOrEmpty("sender_err_s")));
+    acc.Set("receiver_err_s", HistogramJson(result.metrics.HistOrEmpty("receiver_err_s")));
     row.Set("accuracy", std::move(acc));
   }
   return row;

@@ -54,17 +54,16 @@ FleetSummary RunFleet(const std::vector<ScenarioSpec>& specs, const FleetOptions
 // Fleet-wide mergeable statistics, folded from ScenarioResults in scenario
 // order. Merge() combines two aggregates (associative, commutative up to
 // floating-point sum ordering — the fleet always folds in scenario order).
+// Everything lives in one MetricRegistry: scenario results' registries are
+// folded in wholesale, plus the fleet-level counters "scenarios" and
+// "flows". ToJson() emits the golden-pinned aggregate key set explicitly —
+// extra registry entries (e.g. topo.* counters) never change its bytes.
 struct FleetAggregate {
-  size_t scenarios = 0;
-  size_t flows = 0;
-  uint64_t retransmits = 0;
-  Histogram sender_delay_s;
-  Histogram network_delay_s;
-  Histogram receiver_delay_s;
-  Histogram e2e_delay_s;
-  Histogram sender_err_s;
-  Histogram receiver_err_s;
-  RunningStats goodput_mbps;
+  telemetry::MetricRegistry metrics;
+
+  uint64_t scenarios() const { return metrics.CounterValue("scenarios"); }
+  uint64_t flows() const { return metrics.CounterValue("flows"); }
+  uint64_t retransmits() const { return metrics.CounterValue("retransmits"); }
 
   void Add(const ScenarioResult& result);  // completed results only
   void Merge(const FleetAggregate& other);

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "src/runner/json.h"
+#include "src/common/json.h"
 #include "src/tcpsim/testbed.h"
 #include "src/topo/topology.h"
 

@@ -1,6 +1,12 @@
-// Tracepoint hooks into the simulated TCP stack — the simulation analogue of
+// Legacy tracepoint view of the telemetry spine — the simulation analogue of
 // the perf probes the paper adds at write()/tcp_transmit_skb()/
 // tcp_v4_do_rcv()/read() to obtain ground-truth delays (Section 4.3).
+//
+// The stack no longer calls these virtuals directly: TcpSocket emits typed
+// TraceRecords through its FlowTelemetry handle, and this adapter unpacks the
+// four stack-boundary kinds back into the familiar callbacks. Consumers that
+// want the full record stream (ACK ranges, CC episodes, qdisc events) should
+// implement telemetry::RecordSink directly instead.
 
 #ifndef ELEMENT_SRC_TCPSIM_STACK_OBSERVER_H_
 #define ELEMENT_SRC_TCPSIM_STACK_OBSERVER_H_
@@ -8,13 +14,36 @@
 #include <cstdint>
 
 #include "src/common/time.h"
+#include "src/telemetry/record.h"
 
 namespace element {
 
 // Byte ranges are half-open: [begin, end).
-class StackObserver {
+class StackObserver : public telemetry::RecordSink {
  public:
-  virtual ~StackObserver() = default;
+  // Dispatches the stack-boundary record kinds to the virtuals below; other
+  // record kinds are ignored, so legacy observers can be attached to sinks
+  // that also carry qdisc or delay-sample records.
+  void OnRecord(const telemetry::TraceRecord& r) final {
+    switch (r.kind) {
+      case telemetry::RecordKind::kAppWrite:
+        OnAppWrite(r.u.range.begin, r.u.range.end, r.t);
+        break;
+      case telemetry::RecordKind::kTcpTransmit:
+        OnTcpTransmit(r.u.range.begin, r.u.range.end, r.t,
+                      (r.flags & telemetry::kFlagRetransmit) != 0);
+        break;
+      case telemetry::RecordKind::kTcpRxSegment:
+        OnTcpRxSegment(r.u.range.begin, r.u.range.end, r.t,
+                       (r.flags & telemetry::kFlagOutOfOrder) == 0);
+        break;
+      case telemetry::RecordKind::kAppRead:
+        OnAppRead(r.u.range.begin, r.u.range.end, r.t);
+        break;
+      default:
+        break;
+    }
+  }
 
   // Sender side: bytes accepted into the TCP send buffer by a socket write.
   virtual void OnAppWrite(uint64_t begin, uint64_t end, SimTime t) {

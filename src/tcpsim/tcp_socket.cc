@@ -118,8 +118,10 @@ size_t TcpSocket::Write(size_t n) {
   }
   size_t accepted = std::min(n, SndBufFree());
   if (accepted > 0) {
-    if (observer_ != nullptr) {
-      observer_->OnAppWrite(write_seq_, write_seq_ + accepted, loop_->now());
+    if (telemetry_.recording()) {
+      telemetry_.EmitAlways(telemetry::TraceRecord::Range(
+          telemetry::RecordKind::kAppWrite, flow_id_, loop_->now(), write_seq_,
+          write_seq_ + accepted));
     }
     write_seq_ += accepted;
     if (established()) {
@@ -136,8 +138,9 @@ size_t TcpSocket::Write(size_t n) {
 size_t TcpSocket::Read(size_t max) {
   size_t n = std::min<uint64_t>(max, ReadableBytes());
   if (n > 0) {
-    if (observer_ != nullptr) {
-      observer_->OnAppRead(read_seq_, read_seq_ + n, loop_->now());
+    if (telemetry_.recording()) {
+      telemetry_.EmitAlways(telemetry::TraceRecord::Range(
+          telemetry::RecordKind::kAppRead, flow_id_, loop_->now(), read_seq_, read_seq_ + n));
     }
     read_seq_ += n;
   }
@@ -268,8 +271,10 @@ void TcpSocket::SendDataSegment(uint64_t seq, uint32_t len, bool retransmit) {
     }
     ++total_retrans_;
   }
-  if (observer_ != nullptr) {
-    observer_->OnTcpTransmit(seq, seq + len, loop_->now(), retransmit);
+  if (telemetry_.recording()) {
+    telemetry_.EmitAlways(telemetry::TraceRecord::Range(
+        telemetry::RecordKind::kTcpTransmit, flow_id_, loop_->now(), seq, seq + len,
+        retransmit ? telemetry::kFlagRetransmit : 0));
   }
   cc_->OnPacketSent(loop_->now(), EffectiveInFlight());
 
@@ -406,6 +411,7 @@ void TcpSocket::MarkLosses() {
   if (newly_lost && !in_recovery_) {
     in_recovery_ = true;
     recovery_end_ = snd_nxt_;
+    EmitCcEpisode(telemetry::CcEpisode::kRecovery);
     cc_->OnLoss(loop_->now(), EffectiveInFlight(), config_.mss);
     MaybeAutotuneSndbuf();
   }
@@ -430,6 +436,12 @@ void TcpSocket::OnAckSegment(const TcpSegmentPayload& seg) {
   uint64_t acked = 0;
   if (ack > snd_una_) {
     acked = ack - snd_una_;
+    if (telemetry_.recording()) {
+      telemetry::TraceRecord r = telemetry::TraceRecord::Range(
+          telemetry::RecordKind::kSegmentAcked, flow_id_, loop_->now(), snd_una_, ack);
+      r.u.range.aux = ack;  // snd_una after this ACK
+      telemetry_.EmitAlways(r);
+    }
     auto it = outstanding_.begin();
     while (it != outstanding_.end() && it->first + it->second.len <= ack) {
       SegMeta& meta = it->second;
@@ -474,6 +486,7 @@ void TcpSocket::OnAckSegment(const TcpSegmentPayload& seg) {
     }
     if (in_recovery_ && snd_una_ >= recovery_end_) {
       in_recovery_ = false;
+      EmitCcEpisode(telemetry::CcEpisode::kOpen);
     }
 
     AckSample sample;
@@ -532,6 +545,7 @@ void TcpSocket::OnRtoFire() {
   }
   cc_->OnRetransmissionTimeout(loop_->now());
   in_recovery_ = false;
+  EmitCcEpisode(telemetry::CcEpisode::kRtoRecovery);
   ++rto_backoff_;
   // Mark every un-SACKed outstanding segment lost; the scoreboard-driven
   // retransmission path resends them under the collapsed window. snd_nxt_ is
@@ -603,8 +617,9 @@ void TcpSocket::OnDataSegment(const Packet& pkt, const TcpSegmentPayload& seg) {
     return;
   }
   if (seq <= rcv_nxt_) {
-    if (observer_ != nullptr) {
-      observer_->OnTcpRxSegment(rcv_nxt_, end, loop_->now(), /*in_order=*/true);
+    if (telemetry_.recording()) {
+      telemetry_.EmitAlways(telemetry::TraceRecord::Range(
+          telemetry::RecordKind::kTcpRxSegment, flow_id_, loop_->now(), rcv_nxt_, end));
     }
     rcv_nxt_ = end;
     bool filled_hole = false;
@@ -639,8 +654,10 @@ void TcpSocket::OnDataSegment(const Packet& pkt, const TcpSegmentPayload& seg) {
       out_of_order_[seq] = seg.payload_bytes;
       ooo_bytes_ += seg.payload_bytes;
       sack_hint_ = seq;
-      if (observer_ != nullptr) {
-        observer_->OnTcpRxSegment(seq, end, loop_->now(), /*in_order=*/false);
+      if (telemetry_.recording()) {
+        telemetry_.EmitAlways(telemetry::TraceRecord::Range(
+            telemetry::RecordKind::kTcpRxSegment, flow_id_, loop_->now(), seq, end,
+            telemetry::kFlagOutOfOrder));
       }
     }
     SendAck();

@@ -25,8 +25,8 @@
 #include "src/evloop/event_loop.h"
 #include "src/netsim/pipe.h"
 #include "src/tcpsim/congestion_control.h"
-#include "src/tcpsim/stack_observer.h"
 #include "src/tcpsim/tcp_info.h"
+#include "src/telemetry/spine.h"
 #include "src/tcpsim/tcp_segment.h"
 
 namespace element {
@@ -141,7 +141,14 @@ class TcpSocket : public PacketSink {
   }
   size_t SndBufFree() const;
 
-  void set_observer(StackObserver* obs) { observer_ = obs; }
+  // Telemetry handle for this endpoint. Attach sinks (e.g. a
+  // GroundTruthTracer via its StackObserver adapter) or bind to a run's
+  // spine; the stack emits stack-boundary, ACK, and CC-episode records
+  // through it, guarded so an unobserved socket pays two compares per probe.
+  telemetry::FlowTelemetry& telemetry() { return telemetry_; }
+  // Routes this socket's records to `spine` (registry, rings, spine sinks).
+  void BindTelemetry(telemetry::TelemetrySpine* spine) { telemetry_.Bind(spine, flow_id_); }
+
   CongestionControl& congestion_control() { return *cc_; }
   uint64_t flow_id() const { return flow_id_; }
   uint32_t mss() const { return config_.mss; }
@@ -203,6 +210,14 @@ class TcpSocket : public PacketSink {
   uint64_t AdvertisedWindow() const;
 
   // -- shared plumbing --
+  void EmitCcEpisode(telemetry::CcEpisode episode) {
+    if (telemetry_.recording()) {
+      telemetry::TraceRecord r = telemetry::TraceRecord::Range(
+          telemetry::RecordKind::kCcStateChange, flow_id_, loop_->now(), snd_una_, snd_nxt_);
+      r.size = static_cast<uint32_t>(episode);
+      telemetry_.EmitAlways(r);
+    }
+  }
   void EmitSegment(TcpSegmentPayload seg, uint32_t payload_bytes, uint32_t priority_band = 1);
   void BecomeEstablished();
   // Sequence-space conservation audit (compiled out in Release): sequence
@@ -223,7 +238,7 @@ class TcpSocket : public PacketSink {
   Timer syn_retry_timer_;
 
   std::unique_ptr<CongestionControl> cc_;
-  StackObserver* observer_ = nullptr;
+  telemetry::FlowTelemetry telemetry_;
 
   // ---- Sender state ----
   uint64_t snd_una_ = 0;   // oldest unacknowledged byte

@@ -80,6 +80,7 @@ Testbed::Testbed(uint64_t seed, const PathConfig& config) : config_(config), rng
   }
   path_ = std::make_unique<DuplexPath>(&loop_, &rng_, std::move(fwd_qdisc), MakeForwardLink(),
                                        std::move(rev_qdisc), std::move(rev_link));
+  path_->BindTelemetry(&spine_);
 }
 
 std::unique_ptr<Qdisc> MakeBottleneckQdisc(QdiscType type, size_t limit, bool ecn, Rng* rng) {
@@ -152,6 +153,8 @@ Testbed::Flow Testbed::CreateFlow(const TcpSocket::Config& socket_config,
                                        server_rx);
   TcpSocket* client = a.get();
   TcpSocket* server = b.get();
+  client->BindTelemetry(&spine_);
+  server->BindTelemetry(&spine_);
   sockets_.push_back(std::move(a));
   sockets_.push_back(std::move(b));
 
@@ -174,6 +177,7 @@ TcpSocket* Testbed::CreateClient(const TcpSocket::Config& socket_config) {
   auto sock = std::make_unique<TcpSocket>(&loop_, rng_.Fork(), socket_config, flow_id,
                                           &path_->forward(), &path_->client_demux());
   TcpSocket* raw = sock.get();
+  raw->BindTelemetry(&spine_);
   sockets_.push_back(std::move(sock));
   raw->Connect();
   return raw;

@@ -15,6 +15,7 @@
 #include "src/netsim/link_model.h"
 #include "src/netsim/pipe.h"
 #include "src/tcpsim/tcp_socket.h"
+#include "src/telemetry/spine.h"
 
 namespace element {
 
@@ -86,12 +87,20 @@ class Testbed {
   // Non-null when `instrument_bottleneck` was set.
   InstrumentedQdisc* bottleneck_probe() { return bottleneck_probe_; }
 
+  // The testbed's telemetry spine — the default recording path. Both pipes'
+  // qdiscs and every socket this testbed creates are bound to it at
+  // construction; attach sinks (or per-flow sinks via a socket's
+  // telemetry()) to start recording. With no consumers, producers skip all
+  // telemetry work.
+  telemetry::TelemetrySpine& spine() { return spine_; }
+
  private:
   std::unique_ptr<LinkModel> MakeForwardLink();
 
   PathConfig config_;
   EventLoop loop_;
   Rng rng_;
+  telemetry::TelemetrySpine spine_;
   std::unique_ptr<DuplexPath> path_;
   InstrumentedQdisc* bottleneck_probe_ = nullptr;
   std::vector<std::unique_ptr<TcpSocket>> sockets_;

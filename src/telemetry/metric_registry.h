@@ -1,0 +1,95 @@
+// Named, typed metrics with the fleet's merge contract.
+//
+// Every layer that used to keep its own ad-hoc accounting (per-experiment
+// sample vectors in the runner, per-qdisc stat structs, estimator SampleSets)
+// publishes into one MetricRegistry instead. The registry is a plain value
+// type: copyable, and Merge() folds another registry in with the same
+// associativity rules the fleet's per-slot aggregation relies on
+// (counters add, distributions merge, gauges take the incoming value under
+// the runner's fixed fold order).
+//
+// Five metric kinds:
+//   counter — monotonic uint64 (events, bytes, drops)
+//   gauge   — last-written double (configuration echoes, final cwnd)
+//   hist    — log-scale Histogram (golden-pinned delay decompositions)
+//   stats   — RunningStats (mean/stdev summaries, e.g. goodput)
+//   sketch  — QuantileSketch (bounded-memory distributions on long runs)
+//
+// Handles returned by the accessors are stable for the registry's lifetime
+// (std::map nodes never move), so producers resolve a name once at bind time
+// and bump a raw pointer on the hot path. Names sort lexicographically in
+// ToJson(), which keeps exports deterministic. Dots namespace the producer,
+// e.g. "qdisc.0.drops", "flow.e2e_delay_s".
+
+#ifndef ELEMENT_SRC_TELEMETRY_METRIC_REGISTRY_H_
+#define ELEMENT_SRC_TELEMETRY_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/stats.h"
+#include "src/telemetry/quantile_sketch.h"
+
+namespace element {
+namespace telemetry {
+
+class MetricRegistry {
+ public:
+  // Accessors create the metric on first use and return a stable handle.
+  uint64_t* Counter(const std::string& name) { return &counters_[name]; }
+  double* Gauge(const std::string& name) { return &gauges_[name]; }
+  Histogram* Hist(const std::string& name) { return &hists_[name]; }
+  RunningStats* Stats(const std::string& name) { return &stats_[name]; }
+  QuantileSketch* Sketch(const std::string& name) { return &sketches_[name]; }
+
+  // Read-only lookups; null/zero when absent (for tests and export code that
+  // must not create metrics as a side effect).
+  uint64_t CounterValue(const std::string& name) const;
+  const Histogram* FindHist(const std::string& name) const;
+  const RunningStats* FindStats(const std::string& name) const;
+  const QuantileSketch* FindSketch(const std::string& name) const;
+
+  // Like Find*, but absent metrics read as empty distributions — what
+  // exporters want so a scenario that produced no samples still emits
+  // {"count": 0} exactly as the pre-registry code did.
+  const Histogram& HistOrEmpty(const std::string& name) const;
+  const RunningStats& StatsOrEmpty(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty() && stats_.empty() &&
+           sketches_.empty();
+  }
+
+  // Folds `other` in: counters add, hist/stats/sketch Merge() (geometry and
+  // epsilon must match per their own contracts), gauges take other's value.
+  // Associative and — except for gauges — commutative; the fleet calls it in
+  // a fixed fold order so gauge overwrite is deterministic too.
+  void Merge(const MetricRegistry& other);
+
+  // Deterministic snapshot, one object per kind that has entries:
+  // {"counters": {...}, "gauges": {...}, "hists": {name: {count, mean, ...}},
+  //  "stats": {...}, "sketches": {...}}. Distribution sub-objects carry the
+  //  same key set as the fleet's aggregate emitters.
+  json::Value ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> hists_;
+  std::map<std::string, RunningStats> stats_;
+  std::map<std::string, QuantileSketch> sketches_;
+};
+
+// Shared distribution serializers: the pinned key sets every exporter uses
+// (fleet aggregate, registry snapshots, trace summaries). Emitting through
+// one function is what keeps goldens byte-identical across refactors.
+json::Value HistogramJson(const Histogram& h);
+json::Value StatsJson(const RunningStats& s);
+json::Value SketchJson(const QuantileSketch& s);
+
+}  // namespace telemetry
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TELEMETRY_METRIC_REGISTRY_H_

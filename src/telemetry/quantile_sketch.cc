@@ -1,0 +1,192 @@
+#include "src/telemetry/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace element {
+namespace telemetry {
+
+namespace {
+
+// Insert batching: sorting a small buffer and walking the summary once per
+// batch amortizes the per-sample cost; 64 keeps the transient exactness of
+// small streams (every stream under 64 samples is answered exactly).
+constexpr size_t kBufferCapacity = 64;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double epsilon) : epsilon_(epsilon) {
+  ELEMENT_CHECK(epsilon > 0.0 && epsilon < 0.5) << "epsilon out of range: " << epsilon;
+  buffer_.reserve(kBufferCapacity);
+}
+
+void QuantileSketch::Add(double x) {
+  if (count() == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  buffer_.push_back(x);
+  if (buffer_.size() >= kBufferCapacity) {
+    Flush();
+    Compress();
+  }
+}
+
+uint64_t QuantileSketch::DeltaCap() const {
+  return static_cast<uint64_t>(2.0 * epsilon_ * static_cast<double>(count_));
+}
+
+void QuantileSketch::Flush() const {
+  if (buffer_.empty()) {
+    return;
+  }
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  for (double v : buffer_) {
+    while (ti < tuples_.size() && tuples_[ti].v <= v) {
+      merged.push_back(tuples_[ti++]);
+    }
+    ++count_;
+    uint64_t delta = 0;
+    // Interior inserts carry the uncertainty of their successor band; the
+    // extremes stay exact so min/max quantile queries never drift.
+    if (!merged.empty() && ti < tuples_.size()) {
+      const Tuple& succ = tuples_[ti];
+      delta = std::min(succ.g + succ.delta - 1, DeltaCap());
+    }
+    merged.push_back(Tuple{v, 1, delta});
+  }
+  while (ti < tuples_.size()) {
+    merged.push_back(tuples_[ti++]);
+  }
+  tuples_ = std::move(merged);
+  buffer_.clear();
+}
+
+void QuantileSketch::Compress() const {
+  if (tuples_.size() < 3) {
+    return;
+  }
+  const uint64_t cap = DeltaCap();
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  // Walk back-to-front, folding tuple i into its successor when the combined
+  // band still fits the error budget. First and last tuples are never folded.
+  Tuple succ = tuples_.back();
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    const Tuple& cur = tuples_[i];
+    if (cur.g + succ.g + succ.delta <= cap) {
+      succ.g += cur.g;
+    } else {
+      kept.push_back(succ);
+      succ = cur;
+    }
+  }
+  kept.push_back(succ);
+  kept.push_back(tuples_.front());
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  ELEMENT_CHECK(epsilon_ == other.epsilon())
+      << "merging sketches with different epsilons: " << epsilon_ << " vs " << other.epsilon();
+  if (other.count() == 0) {
+    return;
+  }
+  if (count() == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  Flush();
+  other.Flush();
+  other.Compress();
+
+  // Two-way sorted merge. A tuple's rank band in the union stream widens by
+  // the band of the other summary it lands between; adding the successor's
+  // (g + delta - 1) from the other side is the standard conservative bound.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  size_t a = 0;
+  size_t b = 0;
+  auto other_slack = [](const std::vector<Tuple>& t, size_t next) -> uint64_t {
+    if (next >= t.size()) {
+      return 0;
+    }
+    return t[next].g + t[next].delta - 1;
+  };
+  while (a < tuples_.size() || b < other.tuples_.size()) {
+    bool take_a = b >= other.tuples_.size() ||
+                  (a < tuples_.size() && tuples_[a].v <= other.tuples_[b].v);
+    if (take_a) {
+      Tuple t = tuples_[a++];
+      t.delta += other_slack(other.tuples_, b);
+      merged.push_back(t);
+    } else {
+      Tuple t = other.tuples_[b++];
+      t.delta += other_slack(tuples_, a);
+      merged.push_back(t);
+    }
+  }
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  Compress();
+}
+
+double QuantileSketch::Quantile(double q) const {
+  ELEMENT_DCHECK(!empty()) << "Quantile() on empty sketch";
+  if (empty()) {
+    return 0.0;
+  }
+  Flush();
+  q = std::min(1.0, std::max(0.0, q));
+  const double n = static_cast<double>(count_);
+  const double target = q * (n - 1.0) + 1.0;  // 1-based rank, matches order stats
+  const double e = RankErrorBound();
+  uint64_t r_min = 0;
+  double prev = tuples_.front().v;
+  for (const Tuple& t : tuples_) {
+    r_min += t.g;
+    if (static_cast<double>(r_min + t.delta) > target + e) {
+      return prev;
+    }
+    prev = t.v;
+  }
+  return tuples_.back().v;
+}
+
+double QuantileSketch::RankErrorBound() const {
+  Flush();
+  uint64_t worst = 0;
+  for (const Tuple& t : tuples_) {
+    worst = std::max(worst, t.g + t.delta);
+  }
+  return static_cast<double>(worst) / 2.0;
+}
+
+double QuantileSketch::min() const { return count() == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const { return count() == 0 ? 0.0 : max_; }
+
+double QuantileSketch::mean() const {
+  return count() == 0 ? 0.0 : sum_ / static_cast<double>(count());
+}
+
+size_t QuantileSketch::TupleCount() const {
+  Flush();
+  return tuples_.size();
+}
+
+}  // namespace telemetry
+}  // namespace element

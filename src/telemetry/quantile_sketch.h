@@ -1,0 +1,86 @@
+// Bounded-memory streaming quantiles (Greenwald-Khanna, SIGMOD '01).
+//
+// SampleSet keeps every sample, which is exact but unbounded: a fleet sweep at
+// ROADMAP scale produces millions of delay samples per run. QuantileSketch
+// keeps a summary of O((1/eps) * log(eps * n)) tuples and answers any
+// quantile query to within eps * n ranks. The registry uses it for all
+// always-on distributions; golden-pinned figures keep exact SampleSet.
+//
+// Each tuple (v, g, delta) covers a band of ranks: g is the gap in minimum
+// rank to the previous tuple, delta the extra uncertainty. The invariant
+// r_min(i) = sum(g_0..g_i) <= rank(v_i) <= r_min(i) + delta_i holds at all
+// times, so the worst-case query error is max_i (g_i + delta_i) / 2 ranks —
+// exposed as RankErrorBound() so tests validate the *actual* guarantee of a
+// summary rather than a loose constant.
+//
+// Merge concatenates the tuple lists (inflating delta by the neighbouring
+// uncertainty of the other summary) and re-compresses; the result honors the
+// same bound for the union stream regardless of merge order, which is what
+// the fleet's fixed-fold-order aggregate contract needs.
+
+#ifndef ELEMENT_SRC_TELEMETRY_QUANTILE_SKETCH_H_
+#define ELEMENT_SRC_TELEMETRY_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace element {
+namespace telemetry {
+
+class QuantileSketch {
+ public:
+  static constexpr double kDefaultEpsilon = 0.005;  // half-percentile ranks
+
+  QuantileSketch() : QuantileSketch(kDefaultEpsilon) {}
+  explicit QuantileSketch(double epsilon);
+
+  void Add(double x);
+  // Folds `other` into this sketch. Epsilons must match (ELEMENT_CHECK); the
+  // merged summary answers queries over the union stream within the bound.
+  void Merge(const QuantileSketch& other);
+
+  uint64_t count() const { return count_ + buffer_.size(); }
+  bool empty() const { return count() == 0; }
+  double epsilon() const { return epsilon_; }
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  double mean() const;
+
+  // q in [0, 1]. Returns a value whose rank in the observed stream is within
+  // RankErrorBound() of q * count(). Empty-query contract matches
+  // SampleSet::Quantile (DCHECK + 0.0 in release).
+  double Quantile(double q) const;
+
+  // Worst-case query error of the *current* summary, in ranks:
+  // max_i (g_i + delta_i) / 2. Always <= epsilon * count() once compressed.
+  double RankErrorBound() const;
+
+  // Summary footprint, for space assertions in tests.
+  size_t TupleCount() const;
+
+ private:
+  struct Tuple {
+    double v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  void Flush() const;           // drains buffer_ into tuples_
+  void Compress() const;        // GK compress pass
+  uint64_t DeltaCap() const;    // floor(2 * eps * n)
+
+  double epsilon_;
+  mutable std::vector<Tuple> tuples_;  // sorted by v
+  mutable std::vector<double> buffer_;
+  mutable uint64_t count_ = 0;  // samples represented by tuples_
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace telemetry
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TELEMETRY_QUANTILE_SKETCH_H_

@@ -1,0 +1,217 @@
+// The telemetry spine: one per-run hub that every producer publishes through.
+//
+// Topology
+//   TelemetrySpine (one per run/Testbed/Network)
+//     ├── MetricRegistry      named counters/gauges/distributions
+//     ├── per-flow TraceRing  flight recorders (arena-backed, optional)
+//     └── spine RecordSinks   run-wide consumers (see every record)
+//   FlowTelemetry (by value inside each producer: socket, estimator)
+//     └── up to kMaxSinks per-flow RecordSinks (e.g. a GroundTruthTracer)
+//
+// Overhead model (the ≤2% disabled-sink budget in bench/perf_floor.json):
+// FlowTelemetry::Emit is the only call on hot paths. When nothing is
+// attached it is two predictable compares (local sink count, spine recording
+// flag) and no loads beyond the producer's own cache line — cheaper than the
+// virtual observer dispatch it replaces. All record construction happens
+// *after* the guard, so a disabled spine never materializes a TraceRecord.
+// Counters follow the same rule: producers bump registry handles only inside
+// recording paths or at end-of-run publication, never per-event when idle.
+//
+// Determinism rules (docs/telemetry.md):
+//   - attach sinks and create rings before the loop runs; mid-run attachment
+//     flips recording() and changes which branches execute, which is fine for
+//     correctness but changes perf, not results;
+//   - record emission order is simulation event order, so ring contents and
+//     sink callback sequences are seed-stable;
+//   - the registry snapshot is merged in the fleet's fixed fold order.
+
+#ifndef ELEMENT_SRC_TELEMETRY_SPINE_H_
+#define ELEMENT_SRC_TELEMETRY_SPINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/check.h"
+#include "src/telemetry/metric_registry.h"
+#include "src/telemetry/record.h"
+#include "src/telemetry/trace_ring.h"
+
+namespace element {
+namespace telemetry {
+
+class TelemetrySpine {
+ public:
+  TelemetrySpine() = default;
+  // `arena` backs per-flow trace rings; pass the loop's arena so ring slabs
+  // recycle through the same freelist as packet payloads. Null is fine when
+  // no rings will be created.
+  explicit TelemetrySpine(FreeListArena* arena) : arena_(arena) {}
+
+  TelemetrySpine(const TelemetrySpine&) = delete;
+  TelemetrySpine& operator=(const TelemetrySpine&) = delete;
+
+  MetricRegistry* registry() { return &registry_; }
+  const MetricRegistry& registry() const { return registry_; }
+
+  // True when any consumer (ring, spine sink, or per-flow sink) is attached.
+  // Producers gate *all* telemetry work on this, so a run with no consumers
+  // pays only the check itself.
+  bool recording() const { return consumers_ != 0; }
+
+  // Run-wide sinks: see every record emitted by every bound producer.
+  void AttachSink(RecordSink* sink) {
+    ELEMENT_CHECK(sink != nullptr);
+    sinks_.push_back(sink);
+    ++consumers_;
+  }
+  void DetachSink(RecordSink* sink) {
+    for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+      if (*it == sink) {
+        sinks_.erase(it);
+        --consumers_;
+        return;
+      }
+    }
+    ELEMENT_CHECK(false) << "detaching sink that was never attached";
+  }
+
+  // Creates (or returns) the flight recorder for `flow_id`. Requires an
+  // arena. Capacity is per-flow; see TraceRing for rounding.
+  TraceRing* EnsureRing(uint64_t flow_id, size_t capacity_records) {
+    ELEMENT_CHECK(arena_ != nullptr) << "spine has no arena for trace rings";
+    auto it = rings_.find(flow_id);
+    if (it == rings_.end()) {
+      it = rings_.emplace(flow_id, std::make_unique<TraceRing>(arena_, capacity_records)).first;
+      ++consumers_;
+    }
+    return it->second.get();
+  }
+  TraceRing* ring(uint64_t flow_id) {
+    auto it = rings_.find(flow_id);
+    return it == rings_.end() ? nullptr : it->second.get();
+  }
+
+  // Routes a record to the flow's ring (if any) and all spine sinks. Callers
+  // without a FlowTelemetry (qdiscs, routers — producers shared by many
+  // flows) call this directly, already gated on recording().
+  void Dispatch(const TraceRecord& record) {
+    if constexpr (kAuditsEnabled) {
+      ELEMENT_AUDIT(record.kind != RecordKind::kNone) << "dispatching an empty record";
+    }
+    if (!rings_.empty()) {
+      auto it = rings_.find(record.flow_id);
+      if (it != rings_.end()) {
+        it->second->Push(record);
+      }
+    }
+    for (RecordSink* sink : sinks_) {
+      sink->OnRecord(record);
+    }
+    ++dispatched_;
+  }
+
+  uint64_t dispatched() const { return dispatched_; }
+
+  // FlowTelemetry attach/detach bookkeeping (flips recording()).
+  void NoteFlowSinkAttached() { ++consumers_; }
+  void NoteFlowSinkDetached() {
+    ELEMENT_CHECK(consumers_ > 0);
+    --consumers_;
+  }
+
+ private:
+  FreeListArena* arena_ = nullptr;
+  MetricRegistry registry_;
+  std::vector<RecordSink*> sinks_;
+  std::map<uint64_t, std::unique_ptr<TraceRing>> rings_;
+  size_t consumers_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+// The producer-side handle, held by value so emitting costs no indirection
+// when idle. Producers call Emit(); the guard compiles to two compares on the
+// disabled path.
+class FlowTelemetry {
+ public:
+  static constexpr size_t kMaxSinks = 4;
+
+  FlowTelemetry() = default;
+
+  void Bind(TelemetrySpine* spine, uint64_t flow_id) {
+    spine_ = spine;
+    flow_id_ = flow_id;
+  }
+  bool bound() const { return spine_ != nullptr; }
+  TelemetrySpine* spine() const { return spine_; }
+  uint64_t flow_id() const { return flow_id_; }
+
+  // Per-flow sinks see only this producer's records (both sockets of a flow
+  // bind separate FlowTelemetry instances; attach the same sink to both to
+  // observe the whole flow, which is what GroundTruthTracer does).
+  void AttachSink(RecordSink* sink) {
+    ELEMENT_CHECK(sink != nullptr);
+    ELEMENT_CHECK(sink_count_ < kMaxSinks) << "too many per-flow sinks";
+    sinks_[sink_count_++] = sink;
+    if (spine_ != nullptr) {
+      spine_->NoteFlowSinkAttached();
+    }
+  }
+  void DetachSink(RecordSink* sink) {
+    for (size_t i = 0; i < sink_count_; ++i) {
+      if (sinks_[i] == sink) {
+        for (size_t j = i + 1; j < sink_count_; ++j) {
+          sinks_[j - 1] = sinks_[j];
+        }
+        --sink_count_;
+        if (spine_ != nullptr) {
+          spine_->NoteFlowSinkDetached();
+        }
+        return;
+      }
+    }
+    ELEMENT_CHECK(false) << "detaching sink that was never attached";
+  }
+  size_t sink_count() const { return sink_count_; }
+
+  // The hot-path guard: emit-side work happens only when someone listens.
+  bool recording() const {
+    return sink_count_ != 0 || (spine_ != nullptr && spine_->recording());
+  }
+
+  void Emit(const TraceRecord& record) {
+    if (!recording()) {
+      return;
+    }
+    EmitAlways(record);
+  }
+
+  // For call sites that already checked recording() and built the record.
+  void EmitAlways(const TraceRecord& record) {
+    if constexpr (kAuditsEnabled) {
+      ELEMENT_AUDIT(record.t >= last_t_) << "telemetry records emitted out of order";
+      last_t_ = record.t;
+    }
+    for (size_t i = 0; i < sink_count_; ++i) {
+      sinks_[i]->OnRecord(record);
+    }
+    if (spine_ != nullptr && spine_->recording()) {
+      spine_->Dispatch(record);
+    }
+  }
+
+ private:
+  TelemetrySpine* spine_ = nullptr;
+  uint64_t flow_id_ = 0;
+  RecordSink* sinks_[kMaxSinks] = {nullptr, nullptr, nullptr, nullptr};
+  size_t sink_count_ = 0;
+  SimTime last_t_ = SimTime::Zero();  // audit-only monotonicity check
+};
+
+}  // namespace telemetry
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TELEMETRY_SPINE_H_

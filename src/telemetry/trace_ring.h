@@ -1,0 +1,89 @@
+// Per-flow flight recorder: a bounded ring of TraceRecords carved from the
+// loop's FreeListArena in 192-byte slabs (4 records per block). When full the
+// ring overwrites the oldest record, so after a long run it holds the most
+// recent window of a flow's history — the part post-mortem diagnosis wants —
+// at fixed memory cost. Blocks are allocated lazily on first touch and
+// returned to the arena on destruction, so an unused ring costs one pointer
+// vector.
+
+#ifndef ELEMENT_SRC_TELEMETRY_TRACE_RING_H_
+#define ELEMENT_SRC_TELEMETRY_TRACE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/check.h"
+#include "src/telemetry/record.h"
+
+namespace element {
+namespace telemetry {
+
+class TraceRing {
+ public:
+  static constexpr size_t kRecordsPerBlock = FreeListArena::kBlockBytes / sizeof(TraceRecord);
+  static_assert(kRecordsPerBlock == 4, "arena block should hold 4 records exactly");
+
+  // Capacity is rounded up to a whole number of arena blocks.
+  TraceRing(FreeListArena* arena, size_t capacity_records)
+      : arena_(arena),
+        capacity_((capacity_records + kRecordsPerBlock - 1) / kRecordsPerBlock *
+                  kRecordsPerBlock) {
+    ELEMENT_CHECK(capacity_records > 0) << "trace ring needs capacity";
+    blocks_.resize(capacity_ / kRecordsPerBlock, nullptr);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  ~TraceRing() {
+    for (TraceRecord* block : blocks_) {
+      if (block != nullptr) {
+        arena_->Free(block, FreeListArena::kBlockBytes);
+      }
+    }
+  }
+
+  void Push(const TraceRecord& record) {
+    const size_t slot = static_cast<size_t>(total_ % capacity_);
+    TraceRecord*& block = blocks_[slot / kRecordsPerBlock];
+    if (block == nullptr) {
+      block = static_cast<TraceRecord*>(arena_->Allocate(FreeListArena::kBlockBytes));
+    }
+    block[slot % kRecordsPerBlock] = record;
+    ++total_;
+  }
+
+  // Records currently held (== min(total_pushed, capacity)).
+  size_t size() const {
+    return total_ < capacity_ ? static_cast<size_t>(total_) : capacity_;
+  }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_pushed() const { return total_; }
+  uint64_t overwritten() const { return total_ < capacity_ ? 0 : total_ - capacity_; }
+
+  // Copies the held records oldest-first.
+  std::vector<TraceRecord> Snapshot() const {
+    std::vector<TraceRecord> out;
+    const size_t n = size();
+    out.reserve(n);
+    const uint64_t first = total_ - n;
+    for (uint64_t i = first; i < total_; ++i) {
+      const size_t slot = static_cast<size_t>(i % capacity_);
+      out.push_back(blocks_[slot / kRecordsPerBlock][slot % kRecordsPerBlock]);
+    }
+    return out;
+  }
+
+ private:
+  FreeListArena* arena_;
+  size_t capacity_;
+  std::vector<TraceRecord*> blocks_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace element
+
+#endif  // ELEMENT_SRC_TELEMETRY_TRACE_RING_H_

@@ -65,6 +65,10 @@ ContentionResult RunContentionExperiment(const ContentionConfig& config) {
   EventLoop loop;
   Rng rng(config.seed);
   Network net(&loop, &rng, config.topo);
+  // One spine per run: qdisc/socket producers route through it, and its
+  // registry carries the end-of-run counter snapshot out in the result.
+  telemetry::TelemetrySpine spine;
+  net.BindTelemetry(&spine);
   SimTime warmup = SimTime::FromNanos(static_cast<int64_t>(config.warmup_s * 1e9));
 
   TcpSocket::Config socket_config;
@@ -84,14 +88,16 @@ ContentionResult RunContentionExperiment(const ContentionConfig& config) {
                                               snd.tx, snd.rx);
     flow.receiver = std::make_unique<TcpSocket>(&loop, rng.Fork(), socket_config, flow.flow_id,
                                                 rcv.tx, rcv.rx);
+    flow.sender->BindTelemetry(&spine);
+    flow.receiver->BindTelemetry(&spine);
     GroundTruthTracer::Config tracer_config;
     tracer_config.record_from = warmup;
     // Flow 0's accuracy scoring interpolates the ground-truth time series, so
     // it keeps the series regardless of warmup.
     tracer_config.keep_time_series = true;
     flow.tracer = std::make_unique<GroundTruthTracer>(tracer_config);
-    flow.sender->set_observer(flow.tracer.get());
-    flow.receiver->set_observer(flow.tracer.get());
+    flow.sender->telemetry().AttachSink(flow.tracer.get());
+    flow.receiver->telemetry().AttachSink(flow.tracer.get());
     flow.receiver->Listen();
     flow.sender->Connect();
 
@@ -161,6 +167,8 @@ ContentionResult RunContentionExperiment(const ContentionConfig& config) {
   result.cross_bytes_delivered = cross.TotalBytesDelivered();
   result.bottleneck = net.bottleneck_qdisc(0).stats();
   result.processed_events = loop.processed_events();
+  net.PublishMetrics(&result.metrics, "topo.");
+  *result.metrics.Counter("telemetry.dispatched") += spine.dispatched();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "src/common/time.h"
 #include "src/element/estimation_error.h"
 #include "src/netsim/qdisc.h"
+#include "src/telemetry/metric_registry.h"
 #include "src/topo/cross_traffic.h"
 #include "src/topo/topology.h"
 #include "src/trace/ground_truth.h"
@@ -72,6 +73,11 @@ struct ContentionResult {
   uint64_t cross_bytes_delivered = 0;
   QdiscStats bottleneck;             // hop 0, forward direction
   uint64_t processed_events = 0;     // EventLoop total (perf accounting)
+
+  // End-of-run registry snapshot: router/hop counters published by the
+  // Network plus "telemetry.dispatched" from the run's spine. Mergeable
+  // across runs via MetricRegistry::Merge.
+  telemetry::MetricRegistry metrics;
 };
 
 // Runs one seeded contention scenario to completion on the calling thread.

@@ -134,6 +134,32 @@ class Network {
   // Sum of packets dropped for lack of a route anywhere in the topology.
   uint64_t TotalUnroutablePackets() const;
 
+  // Binds every bottleneck qdisc to the run's spine. Hop h's forward qdisc
+  // gets source id 2h and its reverse qdisc 2h+1, so multi-hop traces stay
+  // distinguishable per direction. Access pipes are not bound: they are
+  // deliberately over-provisioned and would only add noise records.
+  void BindTelemetry(telemetry::TelemetrySpine* spine) {
+    for (size_t h = 0; h < fwd_bottlenecks_.size(); ++h) {
+      fwd_bottlenecks_[h]->BindTelemetry(spine, static_cast<uint16_t>(2 * h));
+      rev_bottlenecks_[h]->BindTelemetry(spine, static_cast<uint16_t>(2 * h + 1));
+    }
+  }
+
+  // Mirrors router forwarding counters and per-hop bottleneck pipe/qdisc
+  // counters into `registry` (end-of-run publication, never the hot path).
+  void PublishMetrics(telemetry::MetricRegistry* registry, const std::string& prefix) const {
+    for (size_t level = 0; level < fwd_routers_.size(); ++level) {
+      const std::string lv = std::to_string(level);
+      fwd_routers_[level]->PublishMetrics(registry, prefix + "router.fwd." + lv + ".");
+      rev_routers_[level]->PublishMetrics(registry, prefix + "router.rev." + lv + ".");
+    }
+    for (size_t h = 0; h < fwd_bottlenecks_.size(); ++h) {
+      const std::string hop = std::to_string(h);
+      fwd_bottlenecks_[h]->PublishMetrics(registry, prefix + "hop." + hop + ".fwd.");
+      rev_bottlenecks_[h]->PublishMetrics(registry, prefix + "hop." + hop + ".rev.");
+    }
+  }
+
  private:
   struct HostPair {
     int sender_level = 0;

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iomanip>
 
+#include "src/common/json.h"
+
 namespace element {
 
 void WriteTimeSeriesCsv(std::ostream& os, const TimeSeries& series,
@@ -24,19 +26,26 @@ void WriteCdfCsv(std::ostream& os, const SampleSet& samples,
 }
 
 void WriteSummaryJson(std::ostream& os, const SampleSet& samples, const std::string& name) {
-  os << std::setprecision(9);
-  os << "{\"name\":\"" << name << "\",\"count\":" << samples.count()
-     << ",\"mean\":" << samples.mean() << ",\"stdev\":" << samples.Stdev()
-     << ",\"min\":" << samples.min() << ",\"max\":" << samples.max()
-     << ",\"p50\":" << samples.Quantile(0.5) << ",\"p90\":" << samples.Quantile(0.9)
-     << ",\"p99\":" << samples.Quantile(0.99) << "}";
+  json::Value obj = json::Value::Object();
+  obj.Set("name", json::Value::Str(name));
+  obj.Set("count", json::Value::Int(static_cast<int64_t>(samples.count())));
+  obj.Set("mean", json::Value::Number(samples.mean()));
+  obj.Set("stdev", json::Value::Number(samples.Stdev()));
+  obj.Set("min", json::Value::Number(samples.min()));
+  obj.Set("max", json::Value::Number(samples.max()));
+  obj.Set("p50", json::Value::Number(samples.Quantile(0.5)));
+  obj.Set("p90", json::Value::Number(samples.Quantile(0.9)));
+  obj.Set("p99", json::Value::Number(samples.Quantile(0.99)));
+  os << obj.Dump(/*indent=*/-1);
 }
 
 void WriteCompositionJson(std::ostream& os, const GroundTruthTracer::Composition& composition) {
-  os << std::setprecision(9);
-  os << "{\"sender_s\":" << composition.sender_s << ",\"network_s\":" << composition.network_s
-     << ",\"receiver_s\":" << composition.receiver_s << ",\"total_s\":" << composition.total_s
-     << "}";
+  json::Value obj = json::Value::Object();
+  obj.Set("sender_s", json::Value::Number(composition.sender_s));
+  obj.Set("network_s", json::Value::Number(composition.network_s));
+  obj.Set("receiver_s", json::Value::Number(composition.receiver_s));
+  obj.Set("total_s", json::Value::Number(composition.total_s));
+  os << obj.Dump(/*indent=*/-1);
 }
 
 bool WriteTimeSeriesCsvFile(const std::string& path, const TimeSeries& series,

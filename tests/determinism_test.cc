@@ -39,8 +39,8 @@ std::string RunScenarioTrace(uint64_t seed) {
 
   GroundTruthTracer ground_truth;
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
-  flow.sender->set_observer(&ground_truth);
-  flow.receiver->set_observer(&ground_truth);
+  flow.sender->telemetry().AttachSink(&ground_truth);
+  flow.receiver->telemetry().AttachSink(&ground_truth);
 
   constexpr uint64_t kTotalBytes = 3 * 1000 * 1000;
   auto pump = [&] {
@@ -89,8 +89,8 @@ std::string RunCancelHeavyTrace(uint64_t seed) {
 
   GroundTruthTracer ground_truth;
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
-  flow.sender->set_observer(&ground_truth);
-  flow.receiver->set_observer(&ground_truth);
+  flow.sender->telemetry().AttachSink(&ground_truth);
+  flow.receiver->telemetry().AttachSink(&ground_truth);
 
   constexpr uint64_t kTotalBytes = 2 * 1000 * 1000;
   auto pump = [&] {

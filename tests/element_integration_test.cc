@@ -47,8 +47,8 @@ MeasuredRun RunMeasuredFlow(uint64_t seed, const PathConfig& path, double second
   Testbed bed(seed, path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
 
   ElementSocket::Options opt;
   opt.enable_latency_minimization = false;  // measure only
@@ -161,8 +161,8 @@ TEST(ElementMinimizationTest, CutsSenderDelayKeepsThroughput) {
     Testbed bed(55, path);
     Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
     GroundTruthTracer tracer;
-    flow.sender->set_observer(&tracer);
-    flow.receiver->set_observer(&tracer);
+    flow.sender->telemetry().AttachSink(&tracer);
+    flow.receiver->telemetry().AttachSink(&tracer);
     std::unique_ptr<ByteSink> sink;
     if (with_element) {
       sink = std::make_unique<InterposedSink>(&bed.loop(), flow.sender);
@@ -203,8 +203,8 @@ TEST_P(MinimizationAcrossCcsTest, DelayCutThroughputKept) {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = Sec(5.0);
     GroundTruthTracer tracer(tcfg);
-    flow.sender->set_observer(&tracer);
-    flow.receiver->set_observer(&tracer);
+    flow.sender->telemetry().AttachSink(&tracer);
+    flow.receiver->telemetry().AttachSink(&tracer);
     std::unique_ptr<ByteSink> sink;
     if (with_element) {
       sink = std::make_unique<InterposedSink>(&bed.loop(), flow.sender);

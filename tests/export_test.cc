@@ -100,6 +100,54 @@ TEST(PacketLogTest, RecordsAndComputesRates) {
   EXPECT_NEAR(gaps.mean(), 0.001, 1e-6);
 }
 
+TEST(PacketLogTest, InterArrivalTimesSeparateInterleavedFlows) {
+  EventLoop loop;
+  struct Null : PacketSink {
+    void Deliver(Packet) override {}
+  } null;
+  PacketLog log(&loop, &null);
+  // Interleaved arrivals: flow 1 every 2 ms (at 1, 3, 5, 7 ms), flow 2 at
+  // 2 ms then 8 ms. A per-flow query must see only its own gaps, not the
+  // 1 ms spacing of the merged log.
+  auto deliver = [&](uint64_t flow_id) {
+    Packet p;
+    p.flow_id = flow_id;
+    p.size_bytes = 1000;
+    log.Deliver(std::move(p));
+  };
+  const struct {
+    int at_ms;
+    uint64_t flow;
+  } arrivals[] = {{1, 1}, {2, 2}, {3, 1}, {5, 1}, {7, 1}, {8, 2}};
+  TimeDelta elapsed = TimeDelta::Zero();
+  for (const auto& a : arrivals) {
+    loop.ScheduleAfter(TimeDelta::FromMillis(a.at_ms) - elapsed, [] {});
+    loop.Run();
+    elapsed = TimeDelta::FromMillis(a.at_ms);
+    deliver(a.flow);
+  }
+
+  SampleSet flow1 = log.InterArrivalTimes(1);
+  ASSERT_EQ(flow1.count(), 3u);
+  EXPECT_NEAR(flow1.min(), 0.002, 1e-9);
+  EXPECT_NEAR(flow1.max(), 0.002, 1e-9);
+
+  SampleSet flow2 = log.InterArrivalTimes(2);
+  ASSERT_EQ(flow2.count(), 1u);
+  EXPECT_NEAR(flow2.mean(), 0.006, 1e-9);
+
+  // All-flows view (flow_id 0) sees the merged 1-2 ms gaps.
+  SampleSet merged = log.InterArrivalTimes();
+  EXPECT_EQ(merged.count(), 5u);
+  EXPECT_NEAR(merged.min(), 0.001, 1e-9);
+
+  // A flow with no (or one) retained packet yields an empty sample set
+  // rather than a fabricated gap.
+  EXPECT_TRUE(log.InterArrivalTimes(99).empty());
+  deliver(3);
+  EXPECT_TRUE(log.InterArrivalTimes(3).empty());
+}
+
 TEST(PacketLogTest, DumpFormatsLines) {
   EventLoop loop;
   struct Null : PacketSink {

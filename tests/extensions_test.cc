@@ -49,6 +49,48 @@ TEST(DelayEventMonitorTest, FiresOnceAboveThresholdWithHysteresis) {
   EXPECT_EQ(monitor.delay_events(), 2u);
 }
 
+// Regression coverage for the hysteresis state machine: one sustained
+// excursion must produce exactly one kDelayExceeded no matter how many
+// above-threshold reports arrive, oscillation inside the dead band
+// [rearm_fraction*thr, thr) must produce nothing, and the eventual recovery
+// fires kDelayRecovered exactly once.
+TEST(DelayEventMonitorTest, SustainedExcursionDoesNotRefire) {
+  DelayEventMonitor::Thresholds thr;
+  thr.delay_threshold = TimeDelta::FromMillis(100);
+  std::vector<DelayEventMonitor::Event> events;
+  DelayEventMonitor monitor(thr, [&](const DelayEventMonitor::Event& e) { events.push_back(e); });
+
+  monitor.OnReport(Report(0, 150));  // exceeds -> the one and only event
+  for (int i = 1; i <= 50; ++i) {
+    monitor.OnReport(Report(i * 10, 150 + (i % 7) * 20));  // stays above
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, DelayEventMonitor::Event::Kind::kDelayExceeded);
+
+  // Dead band: below the threshold but above the re-arm point. Neither a
+  // repeat excursion nor a recovery may fire here.
+  for (int i = 51; i <= 60; ++i) {
+    monitor.OnReport(Report(i * 10, (i % 2 == 0) ? 85 : 99));
+  }
+  ASSERT_EQ(events.size(), 1u);
+
+  // Drop below 0.8*thr: exactly one recovery, repeated low values stay quiet.
+  for (int i = 61; i <= 70; ++i) {
+    monitor.OnReport(Report(i * 10, 40));
+  }
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, DelayEventMonitor::Event::Kind::kDelayRecovered);
+  EXPECT_EQ(monitor.delay_events(), 1u);
+  EXPECT_EQ(monitor.delay_recoveries(), 1u);
+
+  // The end-of-run registry mirror carries the same counts.
+  telemetry::MetricRegistry registry;
+  monitor.PublishMetrics(&registry, "monitor.");
+  EXPECT_EQ(registry.CounterValue("monitor.delay_events"), 1u);
+  EXPECT_EQ(registry.CounterValue("monitor.delay_recoveries"), 1u);
+  EXPECT_EQ(registry.CounterValue("monitor.jitter_events"), 0u);
+}
+
 TEST(DelayEventMonitorTest, JitterExcursionDetected) {
   DelayEventMonitor::Thresholds thr;
   thr.jitter_threshold = TimeDelta::FromMillis(30);
@@ -174,8 +216,8 @@ TEST(LatencyBudgetTest, BudgetShiftsEquilibriumDelay) {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = Sec(5.0);
     GroundTruthTracer tracer(tcfg);
-    flow.sender->set_observer(&tracer);
-    flow.receiver->set_observer(&tracer);
+    flow.sender->telemetry().AttachSink(&tracer);
+    flow.receiver->telemetry().AttachSink(&tracer);
     ElementSocket::Options opt;
     ElementSocket em(&bed.loop(), flow.sender, opt);
     em.SetLatencyBudget(budget);
@@ -237,8 +279,8 @@ TEST(InstrumentedQdiscTest, SojournMatchesNetworkQueueingOnLiveFlow) {
   ASSERT_NE(bed.bottleneck_probe(), nullptr);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   RawTcpSink sink(flow.sender);
   IperfApp app(&bed.loop(), &sink);
   SinkApp reader(flow.receiver);

@@ -12,7 +12,7 @@
 #include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/runner/fleet.h"
-#include "src/runner/json.h"
+#include "src/common/json.h"
 #include "src/runner/scenario.h"
 
 namespace element {
@@ -385,22 +385,25 @@ TEST(FleetTest, AggregateMergeMatchesWholeFold) {
     (i < 2 ? first : second).Add(summary.results[i]);
   }
   first.Merge(second);
-  EXPECT_EQ(first.scenarios, whole.scenarios);
-  EXPECT_EQ(first.flows, whole.flows);
-  EXPECT_EQ(first.retransmits, whole.retransmits);
-  EXPECT_EQ(first.e2e_delay_s.bins(), whole.e2e_delay_s.bins());
-  EXPECT_EQ(first.e2e_delay_s.count(), whole.e2e_delay_s.count());
-  EXPECT_DOUBLE_EQ(first.e2e_delay_s.min(), whole.e2e_delay_s.min());
-  EXPECT_DOUBLE_EQ(first.e2e_delay_s.max(), whole.e2e_delay_s.max());
+  EXPECT_EQ(first.scenarios(), whole.scenarios());
+  EXPECT_EQ(first.flows(), whole.flows());
+  EXPECT_EQ(first.retransmits(), whole.retransmits());
+  const Histogram& first_e2e = first.metrics.HistOrEmpty("e2e_delay_s");
+  const Histogram& whole_e2e = whole.metrics.HistOrEmpty("e2e_delay_s");
+  EXPECT_EQ(first_e2e.bins(), whole_e2e.bins());
+  EXPECT_EQ(first_e2e.count(), whole_e2e.count());
+  EXPECT_DOUBLE_EQ(first_e2e.min(), whole_e2e.min());
+  EXPECT_DOUBLE_EQ(first_e2e.max(), whole_e2e.max());
   for (double q : {0.5, 0.95, 0.99}) {
-    EXPECT_DOUBLE_EQ(first.e2e_delay_s.Quantile(q), whole.e2e_delay_s.Quantile(q));
-    EXPECT_DOUBLE_EQ(first.sender_err_s.Quantile(q), whole.sender_err_s.Quantile(q));
+    EXPECT_DOUBLE_EQ(first_e2e.Quantile(q), whole_e2e.Quantile(q));
+    EXPECT_DOUBLE_EQ(first.metrics.HistOrEmpty("sender_err_s").Quantile(q),
+                     whole.metrics.HistOrEmpty("sender_err_s").Quantile(q));
   }
-  EXPECT_EQ(first.goodput_mbps.count(), whole.goodput_mbps.count());
-  EXPECT_NEAR(first.goodput_mbps.mean(), whole.goodput_mbps.mean(),
-              std::abs(whole.goodput_mbps.mean()) * 1e-12);
-  EXPECT_NEAR(first.e2e_delay_s.sum(), whole.e2e_delay_s.sum(),
-              std::abs(whole.e2e_delay_s.sum()) * 1e-12);
+  const RunningStats& first_gp = first.metrics.StatsOrEmpty("goodput_mbps");
+  const RunningStats& whole_gp = whole.metrics.StatsOrEmpty("goodput_mbps");
+  EXPECT_EQ(first_gp.count(), whole_gp.count());
+  EXPECT_NEAR(first_gp.mean(), whole_gp.mean(), std::abs(whole_gp.mean()) * 1e-12);
+  EXPECT_NEAR(first_e2e.sum(), whole_e2e.sum(), std::abs(whole_e2e.sum()) * 1e-12);
 }
 
 TEST(FleetTest, CancelsRemainingScenariosOnFirstFailure) {

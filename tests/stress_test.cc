@@ -97,8 +97,8 @@ TEST_P(InvariantSweepTest, StreamInvariantsHoldUnderLoss) {
   Testbed bed(42 + static_cast<uint64_t>(GetParam() * 1000), path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   InvariantObserver inv;
-  flow.sender->set_observer(&inv);
-  flow.receiver->set_observer(&inv);
+  flow.sender->telemetry().AttachSink(&inv);
+  flow.receiver->telemetry().AttachSink(&inv);
   RawTcpSink sink(flow.sender);
   IperfApp app(&bed.loop(), &sink);
   SinkApp reader(flow.receiver);

@@ -340,8 +340,8 @@ TEST(DrwaTest, ReceiverWindowModerationBoundsDelay) {
     GroundTruthTracer::Config tcfg;
     tcfg.record_from = Sec(5.0);
     GroundTruthTracer tracer(tcfg);
-    flow.sender->set_observer(&tracer);
-    flow.receiver->set_observer(&tracer);
+    flow.sender->telemetry().AttachSink(&tracer);
+    flow.receiver->telemetry().AttachSink(&tracer);
     RawTcpSink sink(flow.sender);
     IperfApp app(&bed.loop(), &sink);
     SinkApp reader(flow.receiver);

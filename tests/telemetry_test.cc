@@ -1,0 +1,364 @@
+// Telemetry spine unit tests: GK quantile sketch guarantees (rank-error
+// bound against the exact SampleSet on adversarially-shaped inputs, merge
+// associativity), arena-backed trace rings, the metric registry's merge
+// contract, and spine/FlowTelemetry recording semantics.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/arena.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/telemetry/metric_registry.h"
+#include "src/telemetry/quantile_sketch.h"
+#include "src/telemetry/spine.h"
+#include "src/telemetry/trace_ring.h"
+
+namespace element {
+namespace telemetry {
+namespace {
+
+// Exact rank of `v` in `sorted` (count of samples <= v).
+uint64_t RankOf(const std::vector<double>& sorted, double v) {
+  return static_cast<uint64_t>(std::upper_bound(sorted.begin(), sorted.end(), v) -
+                               sorted.begin());
+}
+
+// Checks the sketch's self-reported guarantee against ground truth: for every
+// queried quantile, the exact rank of the sketch's answer must lie within
+// RankErrorBound() ranks of the target rank. This validates the *actual*
+// bound of the summary, not a loose constant.
+void ExpectWithinRankBound(const QuantileSketch& sketch, std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  const double bound = sketch.RankErrorBound();
+  EXPECT_LE(bound, sketch.epsilon() * n + 1.0);
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = sketch.Quantile(q);
+    const double target = q * (n - 1) + 1;
+    const double rank = static_cast<double>(RankOf(samples, v));
+    // The returned value's rank band must intersect [target - e, target + e];
+    // equal values share ranks, so compare against the closest equal sample.
+    EXPECT_GE(rank + bound + 1, target) << "q=" << q << " v=" << v;
+    const double rank_lo =
+        static_cast<double>(std::lower_bound(samples.begin(), samples.end(), v) -
+                            samples.begin());
+    EXPECT_LE(rank_lo - bound, target) << "q=" << q << " v=" << v;
+  }
+}
+
+std::vector<double> UniformSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(rng.Uniform());
+  }
+  return out;
+}
+
+std::vector<double> ParetoSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Heavy tail: most mass near the scale, rare huge values — the shape that
+    // breaks naive uniform-bucket summaries.
+    out.push_back(rng.Pareto(1e-3, 1.2));
+  }
+  return out;
+}
+
+std::vector<double> BimodalSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Two tight modes far apart (idle vs bufferbloat delays) with an empty
+    // valley between them.
+    out.push_back(rng.Bernoulli(0.7) ? rng.Normal(0.01, 0.001) : rng.Normal(1.0, 0.05));
+  }
+  return out;
+}
+
+TEST(QuantileSketchTest, EmptyAndSingle) {
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.Quantile(0.0), 42.0);
+  EXPECT_EQ(s.Quantile(0.5), 42.0);
+  EXPECT_EQ(s.Quantile(1.0), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(QuantileSketchTest, MatchesExactQuantilesOnUniform) {
+  std::vector<double> samples = UniformSamples(20000, 7);
+  QuantileSketch sketch;
+  SampleSet exact;
+  for (double v : samples) {
+    sketch.Add(v);
+    exact.Add(v);
+  }
+  EXPECT_EQ(sketch.count(), exact.count());
+  EXPECT_DOUBLE_EQ(sketch.min(), exact.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), exact.max());
+  EXPECT_NEAR(sketch.mean(), exact.mean(), 1e-12);
+  ExpectWithinRankBound(sketch, samples);
+  // Rank error translates to value error on a smooth CDF: the sketch's
+  // median is within ~epsilon of the exact median for uniform input.
+  EXPECT_NEAR(sketch.Quantile(0.5), exact.Quantile(0.5), 3 * sketch.epsilon());
+}
+
+TEST(QuantileSketchTest, HonorsRankBoundOnParetoTail) {
+  std::vector<double> samples = ParetoSamples(20000, 11);
+  QuantileSketch sketch;
+  for (double v : samples) {
+    sketch.Add(v);
+  }
+  ExpectWithinRankBound(sketch, samples);
+}
+
+TEST(QuantileSketchTest, HonorsRankBoundOnBimodalValley) {
+  std::vector<double> samples = BimodalSamples(20000, 13);
+  QuantileSketch sketch;
+  for (double v : samples) {
+    sketch.Add(v);
+  }
+  ExpectWithinRankBound(sketch, samples);
+}
+
+TEST(QuantileSketchTest, SummaryStaysBounded) {
+  QuantileSketch sketch;
+  std::vector<double> samples = ParetoSamples(100000, 17);
+  for (double v : samples) {
+    sketch.Add(v);
+  }
+  // O((1/eps) * log(eps * n)) tuples; with eps = 0.005 and n = 1e5 the
+  // summary must be orders of magnitude below the stream size.
+  EXPECT_LT(sketch.TupleCount(), 4000u);
+  ExpectWithinRankBound(sketch, samples);
+}
+
+TEST(QuantileSketchTest, MergeIsOrderInsensitiveWithinBound) {
+  // Three shards with very different shapes; merge in two association orders
+  // and check both results honor the bound for the union stream.
+  std::vector<double> a = UniformSamples(6000, 3);
+  std::vector<double> b = ParetoSamples(6000, 5);
+  std::vector<double> c = BimodalSamples(6000, 9);
+  auto build = [](const std::vector<double>& xs) {
+    QuantileSketch s;
+    for (double v : xs) {
+      s.Add(v);
+    }
+    return s;
+  };
+
+  std::vector<double> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+
+  // (a + b) + c
+  QuantileSketch left = build(a);
+  {
+    QuantileSketch sb = build(b);
+    left.Merge(sb);
+    QuantileSketch sc = build(c);
+    left.Merge(sc);
+  }
+  // a + (b + c)
+  QuantileSketch right = build(a);
+  {
+    QuantileSketch bc = build(b);
+    QuantileSketch sc = build(c);
+    bc.Merge(sc);
+    right.Merge(bc);
+  }
+
+  EXPECT_EQ(left.count(), all.size());
+  EXPECT_EQ(right.count(), all.size());
+  ExpectWithinRankBound(left, all);
+  ExpectWithinRankBound(right, all);
+  // Exact aggregates must agree bitwise regardless of association.
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+}
+
+TEST(QuantileSketchTest, MergeIntoEmptyEqualsCopy) {
+  QuantileSketch src;
+  for (double v : UniformSamples(5000, 21)) {
+    src.Add(v);
+  }
+  QuantileSketch dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(dst.Quantile(q), src.Quantile(q), 3 * src.epsilon());
+  }
+}
+
+TEST(TraceRingTest, OverwritesOldestAndSnapshotsInOrder) {
+  FreeListArena arena;
+  TraceRing ring(&arena, 7);  // rounds up to 8 (2 blocks)
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 11; ++i) {
+    ring.Push(TraceRecord::Range(RecordKind::kAppWrite, /*flow_id=*/1,
+                                 SimTime::FromNanos(static_cast<int64_t>(i)), i, i + 1));
+  }
+  EXPECT_EQ(ring.total_pushed(), 11u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.overwritten(), 3u);
+  std::vector<TraceRecord> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Oldest-first window: records 3..10 survive.
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].u.range.begin, i + 3);
+  }
+}
+
+TEST(TraceRingTest, BlocksAllocateLazilyOnFirstTouch) {
+  FreeListArena arena;
+  {
+    TraceRing ring(&arena, 16);  // 4 blocks, none touched yet
+    EXPECT_EQ(arena.pool_allocs(), 0u);
+    for (uint64_t i = 0; i < 4; ++i) {
+      ring.Push(TraceRecord::Range(RecordKind::kAppWrite, 1,
+                                   SimTime::FromNanos(static_cast<int64_t>(i)), i, i + 1));
+    }
+    EXPECT_EQ(arena.pool_allocs(), 1u);  // records 0..3 share the first block
+    ring.Push(TraceRecord::Range(RecordKind::kAppWrite, 1, SimTime::FromNanos(4), 4, 5));
+    EXPECT_EQ(arena.pool_allocs(), 2u);  // record 4 touches the second block
+  }
+  // Destructor returned both blocks: a fresh ring reuses them off the
+  // freelist instead of growing a new chunk.
+  TraceRing again(&arena, 8);
+  again.Push(TraceRecord::Range(RecordKind::kAppWrite, 1, SimTime::Zero(), 0, 1));
+  EXPECT_EQ(arena.capacity_blocks(), FreeListArena::kBlocksPerChunk);
+}
+
+TEST(MetricRegistryTest, HandlesAreStableAndMergeFolds) {
+  MetricRegistry a;
+  uint64_t* drops = a.Counter("qdisc.drops");
+  *drops += 3;
+  *a.Gauge("cwnd") = 10.0;
+  a.Hist("delay_s")->Add(0.5);
+  a.Stats("goodput")->Add(8.0);
+  a.Sketch("sojourn_s")->Add(0.001);
+
+  MetricRegistry b;
+  *b.Counter("qdisc.drops") += 4;
+  *b.Gauge("cwnd") = 20.0;
+  b.Hist("delay_s")->Add(1.5);
+  b.Stats("goodput")->Add(10.0);
+  b.Sketch("sojourn_s")->Add(0.002);
+  *b.Counter("only_in_b") += 1;
+
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("qdisc.drops"), 7u);  // counters add
+  EXPECT_EQ(a.CounterValue("only_in_b"), 1u);    // absent = created
+  EXPECT_DOUBLE_EQ(*a.Gauge("cwnd"), 20.0);      // gauges take incoming
+  EXPECT_EQ(a.HistOrEmpty("delay_s").count(), 2u);
+  EXPECT_EQ(a.StatsOrEmpty("goodput").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.StatsOrEmpty("goodput").mean(), 9.0);
+  ASSERT_NE(a.FindSketch("sojourn_s"), nullptr);
+  EXPECT_EQ(a.FindSketch("sojourn_s")->count(), 2u);
+  // Reads of absent metrics do not create them.
+  EXPECT_EQ(a.CounterValue("never_written"), 0u);
+  EXPECT_EQ(a.FindHist("never_written"), nullptr);
+  EXPECT_TRUE(a.HistOrEmpty("never_written").empty());
+}
+
+TEST(MetricRegistryTest, ToJsonIsDeterministicAndSorted) {
+  MetricRegistry r;
+  *r.Counter("b") += 2;
+  *r.Counter("a") += 1;
+  r.Hist("h")->Add(1.0);
+  std::string dump = r.ToJson().Dump(/*indent=*/-1);
+  // Lexicographic key order regardless of insertion order.
+  EXPECT_LT(dump.find("\"a\""), dump.find("\"b\""));
+  r.Merge(MetricRegistry());  // merging empty changes nothing
+  EXPECT_EQ(dump, r.ToJson().Dump(/*indent=*/-1));
+}
+
+// Collects records for spine/flow dispatch assertions.
+struct CollectSink : RecordSink {
+  std::vector<TraceRecord> records;
+  void OnRecord(const TraceRecord& r) override { records.push_back(r); }
+};
+
+TEST(SpineTest, RecordingReflectsConsumersAndDispatchRoutes) {
+  FreeListArena arena;
+  TelemetrySpine spine(&arena);
+  EXPECT_FALSE(spine.recording());
+
+  FlowTelemetry flow;
+  flow.Bind(&spine, /*flow_id=*/5);
+  EXPECT_FALSE(flow.recording());  // bound but no consumers anywhere
+
+  // A run-wide sink flips every bound producer to recording.
+  CollectSink run_sink;
+  spine.AttachSink(&run_sink);
+  EXPECT_TRUE(spine.recording());
+  EXPECT_TRUE(flow.recording());
+
+  TraceRing* ring = spine.EnsureRing(5, 8);
+  flow.Emit(TraceRecord::Range(RecordKind::kAppWrite, 5, SimTime::Zero(), 0, 100));
+  spine.Dispatch(TraceRecord::Range(RecordKind::kQdiscEnqueue, 5,
+                                    SimTime::FromNanos(1), 0, 0));
+  // Another flow's record reaches the sink but not flow 5's ring.
+  spine.Dispatch(TraceRecord::Range(RecordKind::kQdiscEnqueue, 6,
+                                    SimTime::FromNanos(2), 0, 0));
+
+  EXPECT_EQ(run_sink.records.size(), 3u);
+  EXPECT_EQ(ring->size(), 2u);
+  EXPECT_EQ(spine.dispatched(), 3u);
+
+  spine.DetachSink(&run_sink);
+  EXPECT_TRUE(spine.recording());  // the ring still counts as a consumer
+}
+
+TEST(SpineTest, PerFlowSinksSeeOnlyTheirProducer) {
+  TelemetrySpine spine;
+  FlowTelemetry flow_a;
+  FlowTelemetry flow_b;
+  flow_a.Bind(&spine, 1);
+  flow_b.Bind(&spine, 2);
+
+  CollectSink sink_a;
+  flow_a.AttachSink(&sink_a);
+  EXPECT_TRUE(spine.recording());  // per-flow attachment counts as a consumer
+  EXPECT_TRUE(flow_a.recording());
+  EXPECT_TRUE(flow_b.recording());  // spine-level recording turns b on too
+
+  flow_a.Emit(TraceRecord::Range(RecordKind::kAppWrite, 1, SimTime::Zero(), 0, 10));
+  flow_b.Emit(TraceRecord::Range(RecordKind::kAppWrite, 2, SimTime::Zero(), 0, 20));
+  ASSERT_EQ(sink_a.records.size(), 1u);
+  EXPECT_EQ(sink_a.records[0].flow_id, 1u);
+  EXPECT_EQ(spine.dispatched(), 2u);  // both still crossed the spine
+
+  flow_a.DetachSink(&sink_a);
+  EXPECT_FALSE(spine.recording());
+  EXPECT_FALSE(flow_a.recording());
+  flow_a.Emit(TraceRecord::Range(RecordKind::kAppWrite, 1, SimTime::Zero(), 10, 20));
+  EXPECT_EQ(spine.dispatched(), 2u);  // disabled producers emit nothing
+}
+
+TEST(SpineTest, UnboundFlowTelemetryStillFeedsLocalSinks) {
+  FlowTelemetry flow;  // never bound to a spine (unit-test style usage)
+  EXPECT_FALSE(flow.recording());
+  CollectSink sink;
+  flow.AttachSink(&sink);
+  EXPECT_TRUE(flow.recording());
+  flow.Emit(TraceRecord::Range(RecordKind::kAppRead, 9, SimTime::Zero(), 0, 5));
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].kind, RecordKind::kAppRead);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace element

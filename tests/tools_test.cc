@@ -50,8 +50,8 @@ TEST(SynProbeTest, BlindToSenderSystemDelay) {
   Testbed bed(3, path);
   Testbed::Flow flow = bed.CreateFlow(TcpSocket::Config{});
   GroundTruthTracer tracer;
-  flow.sender->set_observer(&tracer);
-  flow.receiver->set_observer(&tracer);
+  flow.sender->telemetry().AttachSink(&tracer);
+  flow.receiver->telemetry().AttachSink(&tracer);
   RawTcpSink sink(flow.sender);
   IperfApp app(&bed.loop(), &sink);
   SinkApp reader(flow.receiver);

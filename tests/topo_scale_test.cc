@@ -33,7 +33,7 @@ TEST(TopoScaleTest, ThousandFlowDumbbellIsDeterministic) {
   ASSERT_EQ(first.flows.size(), 1024u);
   EXPECT_TRUE(first.has_topology);
   EXPECT_EQ(first.unroutable_packets, 0u);
-  EXPECT_GT(first.goodput_mbps.mean(), 0.0);
+  EXPECT_GT(first.metrics.StatsOrEmpty("goodput_mbps").mean(), 0.0);
 
   ScenarioResult second = ExecuteScenario(spec);
   ASSERT_TRUE(second.ok) << second.error;

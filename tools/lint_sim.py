@@ -15,16 +15,19 @@ reproducible; this lint does:
       int64/double so results do not depend on x87/SSE rounding width
   R6  no thread spawning (std::thread/std::jthread/std::async/pthread_create)
       in simulator code — every simulation is single-threaded by design
-  R7  no std::function in src/tcpsim/, src/netsim/, or src/topo/ hot-path
-      classes — those layers schedule via Timer/InlineCallback
-      (slab-resident, no per-event heap allocation). Existing app-facing
-      observer registration interfaces are waived line-by-line with
-      allow(std-function); new members need a design reason to join them.
-      src/topo/ is in scope because routers and cross-traffic generators sit
-      on the per-packet forwarding path of every multi-flow scenario.
+  R7  no std::function in src/tcpsim/, src/netsim/, src/topo/, or
+      src/telemetry/ hot-path classes — those layers schedule via
+      Timer/InlineCallback (slab-resident, no per-event heap allocation).
+      Existing app-facing observer registration interfaces are waived
+      line-by-line with allow(std-function); new members need a design reason
+      to join them. src/topo/ is in scope because routers and cross-traffic
+      generators sit on the per-packet forwarding path of every multi-flow
+      scenario; src/telemetry/ because FlowTelemetry::Emit is inlined into
+      every instrumented event and record sinks must stay virtual-call-only.
 
 Scope: src/ is linted with every rule (R7 only in src/tcpsim/, src/netsim/,
-and src/topo/). tests/, bench/, and examples/ are linted with R2/R3/R4 only
+src/topo/, and src/telemetry/). tests/, bench/, and examples/ are linted with
+R2/R3/R4 only
 (benchmark harnesses legitimately read wall clocks; floats never carry sim
 state in src/ but may appear in plotting-oriented code).
 
@@ -131,7 +134,7 @@ def lint_line(line: str, rules: dict) -> list[tuple[str, str]]:
 def rules_for(rel: str) -> dict:
     if rel.startswith("src/"):
         selected = dict(RULES)
-        if not rel.startswith(("src/tcpsim/", "src/netsim/", "src/topo/")):
+        if not rel.startswith(("src/tcpsim/", "src/netsim/", "src/topo/", "src/telemetry/")):
             selected.pop("std-function")
     else:
         selected = {k: RULES[k] for k in ("rng-engine", "random-device", "libc-rand")}
